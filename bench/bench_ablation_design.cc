@@ -1,0 +1,70 @@
+// Engineering-choice ablations for the scaled-down deviations DESIGN.md §3b
+// documents: mapping learning rate, relay refinement before mapping phases,
+// and class-aware initialization, measured by MCond_OS / MCond_SS node-batch
+// accuracy on the Reddit stand-in (the configuration most sensitive to all
+// three).
+#include <iostream>
+
+#include "common.h"
+
+namespace {
+
+using namespace mcond;
+using namespace mcond::bench;
+
+struct Cell {
+  const char* label;
+  float lr_mapping;
+  int64_t relay_refinement;
+  bool class_aware;
+};
+
+}  // namespace
+
+int main() {
+  const BenchContext ctx = GetBenchContext();
+  const DatasetSpec spec = SpecForBench("reddit-sim", ctx);
+  const double ratio = spec.reduction_ratios.front();
+  std::cout << "=== Design ablations (DESIGN.md §3b) on " << spec.name
+            << ", r=" << FormatFloat(ratio * 100, 2) << "% ===\n";
+
+  InductiveDataset data = MakeDataset(spec, 1100);
+  const int64_t n_syn = SyntheticNodeCount(data.train_graph, ratio);
+  std::unique_ptr<GnnModel> model_o =
+      TrainSgcOn(data.train_graph, 1101, ctx.fast ? 60 : 200);
+
+  const Cell cells[] = {
+      {"defaults", 0.01f, 60, true},
+      {"paper lr 0.1", 0.1f, 60, true},
+      {"no relay refinement", 0.01f, 0, true},
+      {"random M init", 0.01f, 60, false},
+  };
+
+  ResultTable table({"variant", "OS acc", "SS acc", "map nnz"});
+  for (const Cell& cell : cells) {
+    MCondConfig config = ConfigForDataset(spec, ctx.fast);
+    config.lr_mapping = cell.lr_mapping;
+    config.relay_refinement_steps = cell.relay_refinement;
+    config.class_aware_init = cell.class_aware;
+    MCondResult mcond =
+        RunMCond(data.train_graph, data.val, n_syn, config, 1100);
+    Rng rng(1102);
+    const double os =
+        ServeOnCondensed(*model_o, mcond.condensed, data.test, false, rng, 1)
+            .accuracy;
+    std::unique_ptr<GnnModel> model_s =
+        TrainSgcOn(mcond.condensed.graph, 1103, ctx.fast ? 100 : 300);
+    const double ss =
+        ServeOnCondensed(*model_s, mcond.condensed, data.test, false, rng, 1)
+            .accuracy;
+    table.AddRow({cell.label, FormatFloat(os * 100, 2),
+                  FormatFloat(ss * 100, 2),
+                  std::to_string(mcond.condensed.mapping.Nnz())});
+  }
+  table.Print();
+  std::cout << "\nExpected: defaults dominate; the paper's full-scale lr "
+               "(0.1) and disabling refinement both erode the mapping's "
+               "class structure at this step budget; random init recovers "
+               "only partially (Fig. 5c).\n";
+  return 0;
+}

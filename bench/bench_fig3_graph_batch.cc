@@ -1,0 +1,48 @@
+// Fig. 3: inference time and memory usage under the graph-batch setting,
+// per dataset and reduction ratio, with the MCond-vs-Whole acceleration and
+// compression rates called out (the paper's headline 121.5× / 48.0× on
+// Reddit appear here, scaled to the simulated datasets).
+#include <iostream>
+
+#include "common.h"
+
+int main() {
+  using namespace mcond;
+  using namespace mcond::bench;
+  const BenchContext ctx = GetBenchContext();
+  std::cout << "=== Fig. 3: time (ms) & memory, graph batch ===\n";
+
+  for (const std::string& name : ctx.datasets) {
+    const DatasetSpec spec = SpecForBench(name, ctx);
+    for (double ratio : spec.reduction_ratios) {
+      const std::vector<MethodResult> results =
+          RunMethodSuite(spec, ratio, 300, /*epochs_scale=*/0.5);
+      std::cout << "\n--- " << spec.name << ", r="
+                << FormatFloat(ratio * 100, 2) << "% ---\n";
+      ResultTable table({"method", "time(ms)", "memory"});
+      double whole_time = 0.0, whole_mem = 0.0;
+      double mcond_time = 0.0, mcond_mem = 0.0;
+      for (const MethodResult& r : results) {
+        table.AddRow({r.method, FormatMillis(r.graph_batch.seconds),
+                      FormatBytes(
+                          static_cast<double>(r.graph_batch.memory_bytes))});
+        if (r.method == "Whole") {
+          whole_time = r.graph_batch.seconds;
+          whole_mem = static_cast<double>(r.graph_batch.memory_bytes);
+        }
+        // MCond_OS/SS share the synthetic deployment; report its rate once.
+        if (r.method == "MCond_SS") {
+          mcond_time = r.graph_batch.seconds;
+          mcond_mem = static_cast<double>(r.graph_batch.memory_bytes);
+        }
+      }
+      table.Print();
+      if (mcond_time > 0.0) {
+        std::cout << "MCond vs Whole: acceleration "
+                  << FormatRatio(whole_time / mcond_time) << ", compression "
+                  << FormatRatio(whole_mem / mcond_mem) << "\n";
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,151 @@
+// Fig. 5: mapping-matrix visualization and initialization ablation on the
+// Reddit stand-in (MCond_SS, node batch):
+//   (a) class-by-class correlation of the *trained* mapping — diagonal
+//       dominance means original nodes map to same-class synthetic nodes;
+//   (b) the same correlation at initialization;
+//   (c) the mapping-loss trajectory under class-aware vs random init, plus
+//       final accuracies.
+#include <iostream>
+
+#include "common.h"
+
+namespace {
+
+using namespace mcond;
+using namespace mcond::bench;
+
+/// Aggregates an N×N' mapping into a C×C class-correlation matrix: entry
+/// (a, b) is the mean mapping weight from class-a original nodes to class-b
+/// synthetic nodes, row-normalized for display.
+Tensor ClassCorrelation(const Tensor& mapping,
+                        const std::vector<int64_t>& original_labels,
+                        const std::vector<int64_t>& synthetic_labels,
+                        int64_t num_classes) {
+  Tensor corr(num_classes, num_classes);
+  Tensor counts(num_classes, num_classes);
+  for (int64_t i = 0; i < mapping.rows(); ++i) {
+    const int64_t yi = original_labels[static_cast<size_t>(i)];
+    if (yi < 0) continue;
+    for (int64_t j = 0; j < mapping.cols(); ++j) {
+      const int64_t yj = synthetic_labels[static_cast<size_t>(j)];
+      corr.At(yi, yj) += mapping.At(i, j);
+      counts.At(yi, yj) += 1.0f;
+    }
+  }
+  for (int64_t a = 0; a < num_classes; ++a) {
+    float row_sum = 0.0f;
+    for (int64_t b = 0; b < num_classes; ++b) {
+      if (counts.At(a, b) > 0.0f) corr.At(a, b) /= counts.At(a, b);
+      row_sum += corr.At(a, b);
+    }
+    if (row_sum > 0.0f) {
+      for (int64_t b = 0; b < num_classes; ++b) corr.At(a, b) /= row_sum;
+    }
+  }
+  return corr;
+}
+
+/// Text heatmap: darker glyph = more mass.
+void PrintHeatmap(const Tensor& m) {
+  const char* shades = " .:-=+*#%@";
+  float mx = 1e-9f;
+  for (int64_t i = 0; i < m.size(); ++i) {
+    mx = std::max(mx, m.data()[i]);
+  }
+  for (int64_t i = 0; i < m.rows(); ++i) {
+    std::cout << "  ";
+    for (int64_t j = 0; j < m.cols(); ++j) {
+      const int level = std::min(
+          9, static_cast<int>(m.At(i, j) / mx * 9.999f));
+      std::cout << shades[level];
+    }
+    std::cout << "\n";
+  }
+}
+
+double DiagonalMass(const Tensor& corr) {
+  double diag = 0.0, total = 0.0;
+  for (int64_t i = 0; i < corr.rows(); ++i) {
+    for (int64_t j = 0; j < corr.cols(); ++j) {
+      total += corr.At(i, j);
+      if (i == j) diag += corr.At(i, j);
+    }
+  }
+  return total > 0.0 ? diag / total : 0.0;
+}
+
+}  // namespace
+
+int main() {
+  const BenchContext ctx = GetBenchContext();
+  const DatasetSpec spec = SpecForBench("reddit-sim", ctx);
+  const double ratio = spec.reduction_ratios.front();
+  std::cout << "=== Fig. 5: mapping visualization & initialization ("
+            << spec.name << ", r=" << FormatFloat(ratio * 100, 2)
+            << "%, MCond_SS node batch) ===\n";
+
+  InductiveDataset data = MakeDataset(spec, 800);
+  const int64_t n_syn = SyntheticNodeCount(data.train_graph, ratio);
+  const int64_t c = data.train_graph.num_classes();
+
+  struct InitRun {
+    const char* label;
+    bool class_aware;
+    MCondResult result;
+    double accuracy;
+  };
+  std::vector<InitRun> runs;
+  for (bool class_aware : {true, false}) {
+    MCondConfig config = ConfigForDataset(spec, ctx.fast);
+    config.class_aware_init = class_aware;
+    MCondResult r =
+        RunMCond(data.train_graph, data.val, n_syn, config, 800);
+    std::unique_ptr<GnnModel> model =
+        TrainSgcOn(r.condensed.graph, 801, ctx.fast ? 100 : 300);
+    Rng rng(802);
+    const double acc =
+        ServeOnCondensed(*model, r.condensed, data.test, false, rng, 1)
+            .accuracy;
+    runs.push_back({class_aware ? "class-aware" : "random", class_aware,
+                    std::move(r), acc});
+  }
+  const MCondResult& trained = runs[0].result;
+
+  // (a) Trained mapping class correlation.
+  const Tensor corr_trained =
+      ClassCorrelation(trained.dense_mapping, data.train_graph.labels(),
+                       trained.synthetic_labels, c);
+  std::cout << "\n(a) trained mapping class correlation (diagonal mass "
+            << FormatFloat(DiagonalMass(corr_trained), 3) << ")\n";
+  PrintHeatmap(corr_trained);
+
+  // (b) Initialization class correlation: rebuild the initial mapping.
+  MappingMatrix init(data.train_graph.NumNodes(), n_syn, MappingConfig{});
+  init.InitializeClassAware(data.train_graph.labels(),
+                            trained.synthetic_labels);
+  const Tensor corr_init =
+      ClassCorrelation(init.NormalizedTensor(), data.train_graph.labels(),
+                       trained.synthetic_labels, c);
+  std::cout << "\n(b) class-aware initialization correlation (diagonal mass "
+            << FormatFloat(DiagonalMass(corr_init), 3) << ")\n";
+  PrintHeatmap(corr_init);
+
+  // (c) Loss trajectories and accuracies.
+  std::cout << "\n(c) mapping-loss trajectory (first 10 logged steps)\n";
+  ResultTable table({"init", "L_M[0]", "L_M[2]", "L_M[4]", "L_M[6]",
+                     "L_M[8]", "final", "accuracy"});
+  for (const InitRun& run : runs) {
+    const auto& h = run.result.m_loss_history;
+    auto at = [&h](size_t i) {
+      return i < h.size() ? FormatFloat(h[i], 4) : std::string("-");
+    };
+    table.AddRow({run.label, at(0), at(2), at(4), at(6), at(8),
+                  h.empty() ? "-" : FormatFloat(h.back(), 4),
+                  FormatFloat(run.accuracy * 100, 2)});
+  }
+  table.Print();
+  std::cout << "\nClass-aware initialization should start lower, converge "
+               "faster, and end at or above the random-init accuracy "
+               "(paper: 88.15% vs 87.82%).\n";
+  return 0;
+}

@@ -1,0 +1,144 @@
+// Micro-benchmarks (google-benchmark) backing the complexity analysis of
+// §III-E: the forward-pass kernels scale with deployed-graph size, which is
+// exactly what shrinks when serving moves from the original graph (N) to
+// the synthetic graph (N'). Also covers the serving-path pieces: aM
+// conversion, block composition, and normalization.
+#include <benchmark/benchmark.h>
+
+#include "core/tensor_ops.h"
+#include "data/synthetic.h"
+#include "graph/compose.h"
+#include "nn/module.h"
+#include "nn/sgc.h"
+
+namespace mcond {
+namespace {
+
+Graph MakeGraph(int64_t n, double avg_degree = 16.0) {
+  SbmConfig config;
+  config.num_nodes = n;
+  config.num_classes = 8;
+  config.feature_dim = 64;
+  config.avg_degree = avg_degree;
+  Rng rng(1);
+  return GenerateSbmGraph(config, rng);
+}
+
+void BM_SpMM(benchmark::State& state) {
+  Graph g = MakeGraph(state.range(0));
+  const Tensor& x = g.features();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.normalized_adjacency().SpMM(x));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SpMM)->Range(256, 4096)->Complexity(benchmark::oN);
+
+void BM_DenseMatMul(benchmark::State& state) {
+  Rng rng(2);
+  const int64_t n = state.range(0);
+  Tensor a = rng.NormalTensor(n, 64);
+  Tensor b = rng.NormalTensor(64, 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_DenseMatMul)->Range(256, 4096)->Complexity(benchmark::oN);
+
+void BM_SgcForward(benchmark::State& state) {
+  Graph g = MakeGraph(state.range(0));
+  Rng rng(3);
+  GnnConfig config;
+  Sgc model(g.FeatureDim(), g.num_classes(), config, rng);
+  GraphOperators ops_ctx = GraphOperators::FromGraph(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Predict(ops_ctx, g.features(), rng));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SgcForward)->Range(256, 4096)->Complexity(benchmark::oN);
+
+void BM_ComposeAndNormalize(benchmark::State& state) {
+  Graph g = MakeGraph(state.range(0));
+  // A batch of n/10 incoming nodes with ~8 links each.
+  const int64_t n_new = state.range(0) / 10;
+  Rng rng(4);
+  std::vector<Triplet> links;
+  for (int64_t i = 0; i < n_new; ++i) {
+    for (int64_t k = 0; k < 8; ++k) {
+      links.push_back({i, rng.RandInt(0, g.NumNodes() - 1), 1.0f});
+    }
+  }
+  CsrMatrix a = CsrMatrix::FromTriplets(n_new, g.NumNodes(), links);
+  CsrMatrix inter = CsrMatrix::FromTriplets(n_new, n_new, {});
+  for (auto _ : state) {
+    CsrMatrix composed = ComposeBlockAdjacency(g.adjacency(), a, inter);
+    benchmark::DoNotOptimize(SymNormalize(composed));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ComposeAndNormalize)->Range(256, 4096)->Complexity(benchmark::oN);
+
+void BM_MappingConversion(benchmark::State& state) {
+  // links (n×N) · mapping (N×N'): the per-batch aM cost of Eq. (11).
+  const int64_t n_orig = state.range(0);
+  const int64_t n_new = 200;
+  const int64_t n_syn = 64;
+  Rng rng(5);
+  std::vector<Triplet> links;
+  for (int64_t i = 0; i < n_new; ++i) {
+    for (int64_t k = 0; k < 8; ++k) {
+      links.push_back({i, rng.RandInt(0, n_orig - 1), 1.0f});
+    }
+  }
+  CsrMatrix a = CsrMatrix::FromTriplets(n_new, n_orig, links);
+  std::vector<Triplet> map_t;
+  for (int64_t i = 0; i < n_orig; ++i) {
+    for (int64_t k = 0; k < 4; ++k) {
+      map_t.push_back({i, rng.RandInt(0, n_syn - 1), 0.25f});
+    }
+  }
+  CsrMatrix mapping = CsrMatrix::FromTriplets(n_orig, n_syn, map_t);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CsrMatrix::Multiply(a, mapping));
+  }
+  state.SetComplexityN(n_orig);
+}
+BENCHMARK(BM_MappingConversion)->Range(1024, 8192);
+
+void BM_DenseVsSparseDeployment(benchmark::State& state) {
+  // End-to-end serving-cost contrast at a fixed batch size: range(0)==0
+  // serves on a large original-style graph, ==1 on a small synthetic-style
+  // graph. The ratio of the two timings is the Fig. 3/4 speedup mechanism.
+  const bool synthetic = state.range(0) == 1;
+  Graph g = MakeGraph(synthetic ? 64 : 4096, synthetic ? 8.0 : 32.0);
+  Rng rng(6);
+  GnnConfig config;
+  Sgc model(g.FeatureDim(), g.num_classes(), config, rng);
+  const int64_t n_new = 100;
+  std::vector<Triplet> links;
+  for (int64_t i = 0; i < n_new; ++i) {
+    for (int64_t k = 0; k < 6; ++k) {
+      links.push_back({i, rng.RandInt(0, g.NumNodes() - 1), 1.0f});
+    }
+  }
+  CsrMatrix a = CsrMatrix::FromTriplets(n_new, g.NumNodes(), links);
+  CsrMatrix inter = CsrMatrix::FromTriplets(n_new, n_new, {});
+  Tensor batch_x = rng.NormalTensor(n_new, g.FeatureDim());
+  for (auto _ : state) {
+    CsrMatrix composed = ComposeBlockAdjacency(g.adjacency(), a, inter);
+    GraphOperators ops_ctx = GraphOperators::FromAdjacency(composed);
+    Tensor features = ConcatRows(g.features(), batch_x);
+    benchmark::DoNotOptimize(model.Predict(ops_ctx, features, rng));
+  }
+}
+BENCHMARK(BM_DenseVsSparseDeployment)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"synthetic"});
+
+}  // namespace
+}  // namespace mcond
+
+BENCHMARK_MAIN();

@@ -1,0 +1,35 @@
+// Table II: inductive test accuracy of every graph-reduction method under
+// graph-batch and node-batch settings, at the two reduction ratios per
+// dataset. Columns mirror the paper: Whole (O→O), coresets + VNG + MCond_OS
+// (O→S), GCond + MCond_SO (S→O), MCond_SS (S→S).
+#include <iostream>
+
+#include "common.h"
+
+int main() {
+  using namespace mcond;
+  using namespace mcond::bench;
+  const BenchContext ctx = GetBenchContext();
+  std::cout << "=== Table II: inductive inference accuracy (%) ===\n";
+
+  for (const std::string& name : ctx.datasets) {
+    const DatasetSpec spec = SpecForBench(name, ctx);
+    for (double ratio : spec.reduction_ratios) {
+      std::vector<std::vector<MethodResult>> per_seed;
+      for (int64_t s = 0; s < ctx.seeds; ++s) {
+        per_seed.push_back(RunMethodSuite(spec, ratio, 100 + s));
+      }
+      const std::vector<SuiteAggregate> agg = AggregateSuites(per_seed);
+
+      std::cout << "\n--- " << spec.name << ", r=" << FormatFloat(ratio * 100, 2)
+                << "% (" << ctx.seeds << " seeds) ---\n";
+      ResultTable table({"method", "graph batch", "node batch"});
+      for (const SuiteAggregate& a : agg) {
+        table.AddRow({a.method, FormatAccuracy(a.graph_acc),
+                      FormatAccuracy(a.node_acc)});
+      }
+      table.Print();
+    }
+  }
+  return 0;
+}

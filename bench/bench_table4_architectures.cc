@@ -1,0 +1,53 @@
+// Table IV: generalizability of the synthetic graph and mapping across GNN
+// architectures. Each architecture is trained on MCond's synthetic graph
+// and then serves inductive nodes on the original graph (MCond_SO) and on
+// the synthetic graph via the mapping (MCond_SS); accuracy and inference
+// time are reported for both batch settings.
+#include <iostream>
+
+#include "common.h"
+
+int main() {
+  using namespace mcond;
+  using namespace mcond::bench;
+  const BenchContext ctx = GetBenchContext();
+  std::cout << "=== Table IV: accuracy (%) and inference time (ms) across "
+               "GNN architectures ===\n";
+
+  const GnnArch archs[] = {GnnArch::kGcn, GnnArch::kGraphSage,
+                           GnnArch::kAppnp, GnnArch::kCheby};
+  for (const std::string& name : ctx.datasets) {
+    const DatasetSpec spec = SpecForBench(name, ctx);
+    const double ratio = (spec.name == "reddit-sim")
+                             ? spec.reduction_ratios.front()
+                             : spec.reduction_ratios.back();
+    InductiveDataset data = MakeDataset(spec, 600);
+    const int64_t n_syn = SyntheticNodeCount(data.train_graph, ratio);
+    MCondConfig config = ConfigForDataset(spec, ctx.fast);
+    MCondResult mcond =
+        RunMCond(data.train_graph, data.val, n_syn, config, 600);
+
+    std::cout << "\n--- " << spec.name << " (r="
+              << FormatFloat(ratio * 100, 2) << "%) ---\n";
+    ResultTable table({"arch", "batch", "SO acc", "SO ms", "SS acc",
+                       "SS ms"});
+    for (GnnArch arch : archs) {
+      std::unique_ptr<GnnModel> model = TrainGnnOn(
+          mcond.condensed.graph, arch, 601, ctx.fast ? 80 : 300);
+      Rng rng(602);
+      for (bool graph_batch : {true, false}) {
+        InferenceResult so = ServeOnOriginal(*model, data.train_graph,
+                                             data.test, graph_batch, rng, 3);
+        InferenceResult ss = ServeOnCondensed(*model, mcond.condensed,
+                                              data.test, graph_batch, rng, 3);
+        table.AddRow({GnnArchName(arch), graph_batch ? "Graph" : "Node",
+                      FormatFloat(so.accuracy * 100, 2),
+                      FormatMillis(so.seconds),
+                      FormatFloat(ss.accuracy * 100, 2),
+                      FormatMillis(ss.seconds)});
+      }
+    }
+    table.Print();
+  }
+  return 0;
+}

@@ -1,0 +1,198 @@
+#include "common.h"
+
+#include <cstdlib>
+#include <numeric>
+
+#include "coreset/coreset.h"
+#include "vng/vng.h"
+
+namespace mcond {
+namespace bench {
+
+BenchContext GetBenchContext() {
+  BenchContext ctx;
+  const char* fast = std::getenv("MCOND_BENCH_FAST");
+  if (fast != nullptr && std::string(fast) != "0") {
+    ctx.fast = true;
+    ctx.seeds = 1;
+    ctx.datasets = {"tiny-sim"};
+  }
+  return ctx;
+}
+
+DatasetSpec SpecForBench(const std::string& name, const BenchContext& ctx) {
+  return FindDatasetSpec(ctx.fast ? "tiny-sim" : name).value();
+}
+
+MCondConfig ConfigForDataset(const DatasetSpec& spec, bool fast) {
+  MCondConfig config;
+  // Per-dataset mapping hyper-parameters, the analogue of the paper's grid
+  // search: Pubmed's sparse labels leave most mapping rows without a
+  // class-aware prior, so M needs a higher learning rate and more steps to
+  // learn those rows from ℒ_tra/ℒ_ind alone; the fully-labeled datasets
+  // start from a strong prior and prefer gentle refinement.
+  if (spec.name == "pubmed-sim") {
+    config.lr_mapping = 0.1f;
+    config.m_steps_per_round = 30;
+  }
+  const int64_t steps_per_round =
+      config.s_steps_per_round + config.m_steps_per_round;
+  config.outer_rounds = std::max<int64_t>(
+      1, spec.condensation_epochs /
+             std::max<int64_t>(steps_per_round, 15));
+  if (fast) config.outer_rounds = std::min<int64_t>(config.outer_rounds, 2);
+  return config;
+}
+
+std::unique_ptr<GnnModel> TrainSgcOn(const Graph& graph, uint64_t seed,
+                                     int64_t epochs) {
+  return TrainGnnOn(graph, GnnArch::kSgc, seed, epochs);
+}
+
+std::unique_ptr<GnnModel> TrainGnnOn(const Graph& graph, GnnArch arch,
+                                     uint64_t seed, int64_t epochs) {
+  Rng rng(seed);
+  GnnConfig gc;
+  std::unique_ptr<GnnModel> model =
+      MakeGnn(arch, graph.FeatureDim(), graph.num_classes(), gc, rng);
+  GraphOperators ops_ctx = GraphOperators::FromGraph(graph);
+  TrainConfig tc;
+  tc.epochs = epochs;
+  tc.lr = 0.01f;
+  tc.weight_decay = 5e-4f;
+  TrainNodeClassifier(*model, ops_ctx, graph.features(), graph.labels(),
+                      graph.LabeledNodes(), tc, rng);
+  return model;
+}
+
+namespace {
+
+Serving ToServing(const InferenceResult& r) {
+  return Serving{r.accuracy, r.seconds, r.memory_bytes};
+}
+
+MethodResult ServeBothBatches(const std::string& method, GnnModel& model,
+                              const Graph& deployed_original,
+                              const CondensedGraph* condensed,
+                              const HeldOutBatch& test, Rng& rng,
+                              int64_t repeats) {
+  MethodResult out;
+  out.method = method;
+  if (condensed != nullptr) {
+    out.graph_batch = ToServing(
+        ServeOnCondensed(model, *condensed, test, true, rng, repeats));
+    out.node_batch = ToServing(
+        ServeOnCondensed(model, *condensed, test, false, rng, repeats));
+  } else {
+    out.graph_batch = ToServing(
+        ServeOnOriginal(model, deployed_original, test, true, rng, repeats));
+    out.node_batch = ToServing(
+        ServeOnOriginal(model, deployed_original, test, false, rng, repeats));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<MethodResult> RunMethodSuite(const DatasetSpec& spec,
+                                         double ratio, uint64_t seed,
+                                         double epochs_scale) {
+  const BenchContext ctx = GetBenchContext();
+  DatasetSpec scaled_spec = spec;
+  scaled_spec.condensation_epochs = std::max<int64_t>(
+      30, static_cast<int64_t>(spec.condensation_epochs * epochs_scale));
+  InductiveDataset data = MakeDataset(spec, seed);
+  const Graph& original = data.train_graph;
+  const int64_t n_syn = SyntheticNodeCount(original, ratio);
+  const int64_t train_epochs_original = ctx.fast ? 60 : 200;
+  const int64_t train_epochs_synthetic = ctx.fast ? 100 : 300;
+  const int64_t repeats = 3;
+  Rng rng(seed * 1000 + 1);
+
+  std::vector<MethodResult> results;
+
+  // --- The O-trained model, shared by Whole / coresets / VNG / MCond_OS
+  // (the paper trains one GNN on the original graph for these). ---
+  std::unique_ptr<GnnModel> model_o =
+      TrainSgcOn(original, seed, train_epochs_original);
+
+  // Whole: train and infer on the original graph (O→O reference).
+  results.push_back(ServeBothBatches("Whole", *model_o, original, nullptr,
+                                     data.test, rng, repeats));
+
+  // Coreset baselines: O-trained model, reduced graph at inference.
+  const Tensor embeddings = original.normalized_adjacency().SpMM(
+      original.normalized_adjacency().SpMM(original.features()));
+  for (CoresetMethod method :
+       {CoresetMethod::kRandom, CoresetMethod::kDegree,
+        CoresetMethod::kHerding, CoresetMethod::kKCenter}) {
+    Rng sel_rng(seed * 100 + static_cast<uint64_t>(method));
+    const std::vector<int64_t> selected =
+        SelectCoreset(method, original, embeddings, n_syn, sel_rng);
+    CondensedGraph cg = BuildCoresetGraph(original, selected);
+    results.push_back(ServeBothBatches(CoresetMethodName(method), *model_o,
+                                       original, &cg, data.test, rng,
+                                       repeats));
+  }
+
+  // VNG: O-trained model on the virtual graph.
+  {
+    Rng vng_rng(seed * 100 + 11);
+    CondensedGraph cg = RunVng(original, n_syn, VngConfig{}, vng_rng);
+    results.push_back(ServeBothBatches("VNG", *model_o, original, &cg,
+                                       data.test, rng, repeats));
+  }
+
+  // MCond: one condensation run powers MCond_OS / MCond_SO / MCond_SS.
+  {
+    MCondConfig config = ConfigForDataset(scaled_spec, ctx.fast);
+    MCondResult mcond = RunMCond(original, data.val, n_syn, config, seed);
+    results.push_back(ServeBothBatches("MCond_OS", *model_o, original,
+                                       &mcond.condensed, data.test, rng,
+                                       repeats));
+    std::unique_ptr<GnnModel> model_s = TrainSgcOn(
+        mcond.condensed.graph, seed + 7, train_epochs_synthetic);
+    results.push_back(ServeBothBatches("MCond_SO", *model_s, original,
+                                       nullptr, data.test, rng, repeats));
+    results.push_back(ServeBothBatches("MCond_SS", *model_s, original,
+                                       &mcond.condensed, data.test, rng,
+                                       repeats));
+  }
+
+  // GCond: S-trained model, original graph at inference (its only option).
+  {
+    MCondConfig config = ConfigForDataset(scaled_spec, ctx.fast);
+    MCondResult gcond = RunGCond(original, n_syn, config, seed);
+    std::unique_ptr<GnnModel> model_g = TrainSgcOn(
+        gcond.condensed.graph, seed + 9, train_epochs_synthetic);
+    results.push_back(ServeBothBatches("GCond", *model_g, original, nullptr,
+                                       data.test, rng, repeats));
+  }
+
+  return results;
+}
+
+std::vector<SuiteAggregate> AggregateSuites(
+    const std::vector<std::vector<MethodResult>>& per_seed) {
+  std::vector<SuiteAggregate> out;
+  if (per_seed.empty()) return out;
+  const size_t num_methods = per_seed.front().size();
+  for (size_t m = 0; m < num_methods; ++m) {
+    SuiteAggregate agg;
+    agg.method = per_seed.front()[m].method;
+    std::vector<double> graph_accs, node_accs;
+    for (const auto& seed_results : per_seed) {
+      graph_accs.push_back(seed_results[m].graph_batch.accuracy);
+      node_accs.push_back(seed_results[m].node_batch.accuracy);
+    }
+    agg.graph_acc = Summarize(graph_accs);
+    agg.node_acc = Summarize(node_accs);
+    agg.graph_serving = per_seed.back()[m].graph_batch;
+    agg.node_serving = per_seed.back()[m].node_batch;
+    out.push_back(agg);
+  }
+  return out;
+}
+
+}  // namespace bench
+}  // namespace mcond

@@ -1,0 +1,86 @@
+#ifndef MCOND_BENCH_COMMON_H_
+#define MCOND_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "condense/gcond.h"
+#include "condense/mcond.h"
+#include "data/datasets.h"
+#include "eval/inference.h"
+#include "eval/experiment.h"
+#include "nn/trainer.h"
+
+namespace mcond {
+namespace bench {
+
+/// Global bench knobs. Set MCOND_BENCH_FAST=1 to shrink every experiment to
+/// a smoke-test scale (tiny dataset, few rounds, one seed) for quick
+/// iteration; the full runs regenerate the paper-scale tables.
+struct BenchContext {
+  bool fast = false;
+  /// Seeds per accuracy cell ("repeat 5 times" in the paper; scaled down).
+  int64_t seeds = 2;
+  std::vector<std::string> datasets = {"pubmed-sim", "flickr-sim",
+                                       "reddit-sim"};
+};
+
+BenchContext GetBenchContext();
+
+/// MCond hyper-parameters tuned per dataset (epochs from the spec; λ/β in
+/// the paper's grid-searched region).
+MCondConfig ConfigForDataset(const DatasetSpec& spec, bool fast);
+
+/// Trains a fresh SGC on the given deployed graph over its labeled nodes.
+std::unique_ptr<GnnModel> TrainSgcOn(const Graph& graph, uint64_t seed,
+                                     int64_t epochs);
+
+/// Trains an arbitrary architecture on a deployed graph.
+std::unique_ptr<GnnModel> TrainGnnOn(const Graph& graph, GnnArch arch,
+                                     uint64_t seed, int64_t epochs);
+
+/// One method's serving numbers in both batch settings.
+struct Serving {
+  double accuracy = 0.0;
+  double seconds = 0.0;
+  int64_t memory_bytes = 0;
+};
+
+struct MethodResult {
+  std::string method;
+  Serving graph_batch;
+  Serving node_batch;
+};
+
+/// Runs the entire Table II / Fig. 3 / Fig. 4 method suite for one
+/// (dataset, reduction ratio, seed): Whole, the four coresets, VNG,
+/// MCond_OS, GCond (S→O), MCond_SO, MCond_SS.
+/// `epochs_scale` shrinks the condensation budget; timing-oriented benches
+/// (Fig. 3/4) use ~0.5 since serving latency and memory depend on artifact
+/// *shape*, not on how converged the accuracy is.
+std::vector<MethodResult> RunMethodSuite(const DatasetSpec& spec,
+                                         double ratio, uint64_t seed,
+                                         double epochs_scale = 1.0);
+
+/// Convenience: spec lookup that honors fast mode by substituting tiny-sim.
+DatasetSpec SpecForBench(const std::string& name, const BenchContext& ctx);
+
+/// Accuracy across seeds for a named method, grouped out of per-seed suite
+/// runs.
+struct SuiteAggregate {
+  std::string method;
+  MeanStd graph_acc;
+  MeanStd node_acc;
+  // Timing/memory from the last seed (timings are stable across seeds).
+  Serving graph_serving;
+  Serving node_serving;
+};
+
+std::vector<SuiteAggregate> AggregateSuites(
+    const std::vector<std::vector<MethodResult>>& per_seed);
+
+}  // namespace bench
+}  // namespace mcond
+
+#endif  // MCOND_BENCH_COMMON_H_

@@ -1,0 +1,82 @@
+// Non-parametric calibration scenario (§IV-D): improve inductive
+// predictions with label propagation and error propagation over the
+// *synthetic* graph — cheap because the propagation runs on N' + n nodes
+// instead of N + n.
+//
+// The structural signal that LP/EP exploit only exists because MCond's
+// synthetic adjacency A' and mapping M preserve the original topology
+// (ℒ_str and ℒ_ind); random coresets give propagation much less to work
+// with.
+
+#include <iostream>
+#include <numeric>
+
+#include "condense/mcond.h"
+#include "core/tensor_ops.h"
+#include "data/datasets.h"
+#include "eval/inference.h"
+#include "nn/metrics.h"
+#include "nn/trainer.h"
+#include "propagation/error_propagation.h"
+#include "propagation/label_propagation.h"
+
+int main() {
+  using namespace mcond;
+  const uint64_t kSeed = 19;
+
+  InductiveDataset data = MakeDatasetByName("pubmed-sim", kSeed);
+  const Graph& original = data.train_graph;
+  MCondConfig config;
+  config.outer_rounds = 6;
+  const int64_t n_syn = SyntheticNodeCount(original, 0.032);
+  MCondResult mcond = RunMCond(original, data.val, n_syn, config, kSeed);
+
+  // Serving model trained on the synthetic graph.
+  Rng rng(kSeed + 1);
+  GnnConfig gc;
+  std::unique_ptr<GnnModel> model = MakeGnn(
+      GnnArch::kSgc, original.FeatureDim(), original.num_classes(), gc, rng);
+  {
+    GraphOperators syn_ops = GraphOperators::FromGraph(mcond.condensed.graph);
+    std::vector<int64_t> all(mcond.condensed.graph.NumNodes());
+    std::iota(all.begin(), all.end(), 0);
+    TrainConfig tc;
+    tc.epochs = 300;
+    TrainNodeClassifier(*model, syn_ops, mcond.condensed.graph.features(),
+                        mcond.condensed.graph.labels(), all, tc, rng);
+  }
+
+  // Compose the synthetic deployment once and calibrate on it.
+  Deployment dep =
+      ComposeDeployment(mcond.condensed, data.test, /*graph_batch=*/true);
+  const Tensor full_logits = model->Predict(dep.operators, dep.features, rng);
+  const Tensor batch_logits =
+      SliceRows(full_logits, dep.num_base, dep.num_base + dep.batch_size);
+
+  const double vanilla =
+      AccuracyFromLogits(batch_logits, data.test.labels);
+
+  const Tensor lp_scores = LabelPropagation(
+      dep.operators.gcn_norm,
+      OneHot(dep.known_labels, original.num_classes()), 0.9f, 20);
+  const double lp = AccuracyFromLogits(
+      SliceRows(lp_scores, dep.num_base, dep.num_base + dep.batch_size),
+      data.test.labels);
+
+  const Tensor ep_scores =
+      ErrorPropagation(dep.operators.gcn_norm, full_logits,
+                       dep.known_labels, 0.9f, 20, 1.0f);
+  const double ep = AccuracyFromLogits(
+      SliceRows(ep_scores, dep.num_base, dep.num_base + dep.batch_size),
+      data.test.labels);
+
+  std::cout << "calibration on the synthetic deployment (" << n_syn
+            << " synthetic + " << data.test.size() << " inductive nodes):\n";
+  std::cout << "  vanilla GNN:        " << vanilla << "\n";
+  std::cout << "  label propagation:  " << lp << "\n";
+  std::cout << "  error propagation:  " << ep << "\n";
+  std::cout << "EP reuses the GNN's own mistakes on the labeled synthetic "
+               "nodes to correct the inductive predictions; on homophilous "
+               "graphs it should match or beat the vanilla accuracy.\n";
+  return 0;
+}

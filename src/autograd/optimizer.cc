@@ -1,0 +1,61 @@
+#include "autograd/optimizer.h"
+
+#include <cmath>
+
+#include "core/tensor_ops.h"
+
+namespace mcond {
+
+void SgdOptimizer::Step() {
+  for (const Variable& p : params_) {
+    if (p->grad().empty()) continue;
+    Tensor g = p->grad();
+    if (weight_decay_ > 0.0f) AxpyInPlace(g, weight_decay_, p->value());
+    AxpyInPlace(p->mutable_value(), -lr_, g);
+    p->ZeroGrad();
+  }
+}
+
+AdamOptimizer::AdamOptimizer(std::vector<Variable> params, float lr,
+                             float weight_decay, float beta1, float beta2,
+                             float eps)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      weight_decay_(weight_decay),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Variable& p : params_) {
+    m_.emplace_back(p->rows(), p->cols());
+    v_.emplace_back(p->rows(), p->cols());
+  }
+}
+
+void AdamOptimizer::Step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    const Variable& p = params_[i];
+    if (p->grad().empty()) continue;
+    Tensor g = p->grad();
+    if (weight_decay_ > 0.0f) AxpyInPlace(g, weight_decay_, p->value());
+    float* pm = m_[i].data();
+    float* pv = v_[i].data();
+    const float* pg = g.data();
+    float* px = p->mutable_value().data();
+    const int64_t n = g.size();
+    for (int64_t k = 0; k < n; ++k) {
+      pm[k] = beta1_ * pm[k] + (1.0f - beta1_) * pg[k];
+      pv[k] = beta2_ * pv[k] + (1.0f - beta2_) * pg[k] * pg[k];
+      const float mhat = pm[k] / bc1;
+      const float vhat = pv[k] / bc2;
+      px[k] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+    p->ZeroGrad();
+  }
+}
+
+}  // namespace mcond

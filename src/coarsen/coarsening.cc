@@ -1,0 +1,201 @@
+#include "coarsen/coarsening.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/tensor_ops.h"
+
+namespace mcond {
+
+namespace {
+
+/// One heavy-edge-matching pass over a weighted graph: returns the cluster
+/// id of each node at the next (coarser) level and the number of clusters.
+int64_t HeavyEdgeMatch(const CsrMatrix& adj, Rng& rng,
+                       std::vector<int64_t>& cluster_of) {
+  const int64_t n = adj.rows();
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+  cluster_of.assign(static_cast<size_t>(n), -1);
+  int64_t next = 0;
+  for (int64_t u : order) {
+    if (cluster_of[static_cast<size_t>(u)] >= 0) continue;
+    // Heaviest unmatched neighbor.
+    int64_t best = -1;
+    float best_w = 0.0f;
+    for (int64_t k = adj.row_ptr()[static_cast<size_t>(u)];
+         k < adj.row_ptr()[static_cast<size_t>(u) + 1]; ++k) {
+      const int64_t v = adj.col_idx()[static_cast<size_t>(k)];
+      if (v == u || cluster_of[static_cast<size_t>(v)] >= 0) continue;
+      const float w = adj.values()[static_cast<size_t>(k)];
+      if (w > best_w) {
+        best_w = w;
+        best = v;
+      }
+    }
+    cluster_of[static_cast<size_t>(u)] = next;
+    if (best >= 0) cluster_of[static_cast<size_t>(best)] = next;
+    ++next;
+  }
+  return next;
+}
+
+}  // namespace
+
+CondensedGraph CoarsenGraph(const Graph& original, int64_t target_nodes,
+                            const CoarseningConfig& config, Rng& rng) {
+  MCOND_CHECK_GT(target_nodes, 0);
+  MCOND_CHECK_LE(target_nodes, original.NumNodes());
+
+  // Level state: current adjacency, mapping original → current level, and
+  // per-cluster mass (member counts) for weighted feature averaging.
+  CsrMatrix adj = original.adjacency();
+  CsrMatrix mapping = CsrMatrix::Identity(original.NumNodes());
+  int64_t current = original.NumNodes();
+
+  for (int64_t level = 0;
+       level < config.max_levels && current > target_nodes; ++level) {
+    std::vector<int64_t> cluster_of;
+    int64_t next = HeavyEdgeMatch(adj, rng, cluster_of);
+    if (next >= current) break;  // No edges left to contract.
+    // If matching overshoots below the target, merge only enough pairs:
+    // split clusters that would overshoot back into singletons.
+    if (next < target_nodes) {
+      // Undo merges greedily until the count is right.
+      std::vector<std::vector<int64_t>> members(static_cast<size_t>(next));
+      for (int64_t i = 0; i < current; ++i) {
+        members[static_cast<size_t>(cluster_of[static_cast<size_t>(i)])]
+            .push_back(i);
+      }
+      int64_t count = next;
+      for (int64_t c = 0; c < next && count < target_nodes; ++c) {
+        if (members[static_cast<size_t>(c)].size() == 2) {
+          cluster_of[static_cast<size_t>(
+              members[static_cast<size_t>(c)][1])] = count;
+          ++count;
+        }
+      }
+      next = count;
+    }
+    // Aggregate the adjacency and extend the mapping.
+    std::vector<Triplet> level_p;
+    level_p.reserve(static_cast<size_t>(current));
+    for (int64_t i = 0; i < current; ++i) {
+      level_p.push_back({i, cluster_of[static_cast<size_t>(i)], 1.0f});
+    }
+    const CsrMatrix p =
+        CsrMatrix::FromTriplets(current, next, std::move(level_p));
+    // adj' = Pᵀ adj P, dropping the contracted self-loops.
+    CsrMatrix coarse =
+        CsrMatrix::Multiply(p.Transpose(), CsrMatrix::Multiply(adj, p));
+    std::vector<Triplet> no_diag;
+    for (int64_t r = 0; r < coarse.rows(); ++r) {
+      for (int64_t k = coarse.row_ptr()[static_cast<size_t>(r)];
+           k < coarse.row_ptr()[static_cast<size_t>(r) + 1]; ++k) {
+        const int64_t c = coarse.col_idx()[static_cast<size_t>(k)];
+        if (c != r) {
+          no_diag.push_back({r, c, coarse.values()[static_cast<size_t>(k)]});
+        }
+      }
+    }
+    adj = CsrMatrix::FromTriplets(next, next, std::move(no_diag));
+    mapping = CsrMatrix::Multiply(mapping, p);
+    const double shrink =
+        static_cast<double>(next) / static_cast<double>(current);
+    current = next;
+    if (shrink > config.min_shrink_factor && current > target_nodes) {
+      break;  // Stalled: the forced merge below finishes the job.
+    }
+  }
+
+  // Force any remaining reduction by merging the smallest clusters.
+  if (current > target_nodes) {
+    std::vector<int64_t> sizes(static_cast<size_t>(current), 0);
+    for (int64_t i = 0; i < mapping.rows(); ++i) {
+      for (int64_t k = mapping.row_ptr()[static_cast<size_t>(i)];
+           k < mapping.row_ptr()[static_cast<size_t>(i) + 1]; ++k) {
+        ++sizes[static_cast<size_t>(
+            mapping.col_idx()[static_cast<size_t>(k)])];
+      }
+    }
+    std::vector<int64_t> by_size(static_cast<size_t>(current));
+    std::iota(by_size.begin(), by_size.end(), 0);
+    std::sort(by_size.begin(), by_size.end(), [&](int64_t a, int64_t b) {
+      return sizes[static_cast<size_t>(a)] < sizes[static_cast<size_t>(b)];
+    });
+    // The smallest (current - target + 1) clusters merge into one.
+    std::vector<int64_t> remap(static_cast<size_t>(current));
+    const int64_t merge_count = current - target_nodes + 1;
+    int64_t next_id = 1;
+    for (int64_t rank = 0; rank < current; ++rank) {
+      const int64_t c = by_size[static_cast<size_t>(rank)];
+      remap[static_cast<size_t>(c)] = rank < merge_count ? 0 : next_id++;
+    }
+    std::vector<Triplet> level_p;
+    for (int64_t c = 0; c < current; ++c) {
+      level_p.push_back({c, remap[static_cast<size_t>(c)], 1.0f});
+    }
+    const CsrMatrix p =
+        CsrMatrix::FromTriplets(current, target_nodes, std::move(level_p));
+    CsrMatrix coarse =
+        CsrMatrix::Multiply(p.Transpose(), CsrMatrix::Multiply(adj, p));
+    std::vector<Triplet> no_diag;
+    for (int64_t r = 0; r < coarse.rows(); ++r) {
+      for (int64_t k = coarse.row_ptr()[static_cast<size_t>(r)];
+           k < coarse.row_ptr()[static_cast<size_t>(r) + 1]; ++k) {
+        const int64_t c = coarse.col_idx()[static_cast<size_t>(k)];
+        if (c != r) {
+          no_diag.push_back({r, c, coarse.values()[static_cast<size_t>(k)]});
+        }
+      }
+    }
+    adj = CsrMatrix::FromTriplets(target_nodes, target_nodes,
+                                  std::move(no_diag));
+    mapping = CsrMatrix::Multiply(mapping, p);
+    current = target_nodes;
+  }
+
+  // Super-node features (member means), labels (majority).
+  Tensor features(current, original.FeatureDim());
+  std::vector<float> mass(static_cast<size_t>(current), 0.0f);
+  std::vector<std::vector<int64_t>> votes(
+      static_cast<size_t>(current),
+      std::vector<int64_t>(static_cast<size_t>(original.num_classes()), 0));
+  for (int64_t i = 0; i < mapping.rows(); ++i) {
+    MCOND_CHECK_EQ(mapping.RowNnz(i), 1);
+    const int64_t g =
+        mapping.col_idx()[static_cast<size_t>(mapping.row_ptr()[static_cast<size_t>(i)])];
+    const float* src = original.features().RowData(i);
+    float* dst = features.RowData(g);
+    for (int64_t j = 0; j < features.cols(); ++j) dst[j] += src[j];
+    mass[static_cast<size_t>(g)] += 1.0f;
+    const int64_t y = original.labels()[static_cast<size_t>(i)];
+    if (y >= 0) ++votes[static_cast<size_t>(g)][static_cast<size_t>(y)];
+  }
+  std::vector<int64_t> labels(static_cast<size_t>(current), -1);
+  for (int64_t g = 0; g < current; ++g) {
+    if (mass[static_cast<size_t>(g)] > 0.0f) {
+      const float inv = 1.0f / mass[static_cast<size_t>(g)];
+      float* dst = features.RowData(g);
+      for (int64_t j = 0; j < features.cols(); ++j) dst[j] *= inv;
+    }
+    int64_t best = -1, best_count = 0;
+    for (int64_t k = 0; k < original.num_classes(); ++k) {
+      if (votes[static_cast<size_t>(g)][static_cast<size_t>(k)] >
+          best_count) {
+        best_count = votes[static_cast<size_t>(g)][static_cast<size_t>(k)];
+        best = k;
+      }
+    }
+    labels[static_cast<size_t>(g)] = best;
+  }
+
+  CondensedGraph out;
+  out.graph = Graph(std::move(adj), std::move(features), std::move(labels),
+                    original.num_classes());
+  out.mapping = std::move(mapping);
+  return out;
+}
+
+}  // namespace mcond

@@ -1,0 +1,37 @@
+#ifndef MCOND_COARSEN_COARSENING_H_
+#define MCOND_COARSEN_COARSENING_H_
+
+#include <cstdint>
+
+#include "condense/condensed.h"
+#include "core/rng.h"
+#include "graph/graph.h"
+
+namespace mcond {
+
+/// Configuration for multilevel coarsening.
+struct CoarseningConfig {
+  /// Abort if a full matching pass shrinks the graph by less than this
+  /// factor (pathological graphs); remaining reduction is forced by
+  /// merging the smallest clusters.
+  double min_shrink_factor = 0.95;
+  int64_t max_levels = 40;
+};
+
+/// Multilevel heavy-edge-matching coarsening (the classic coarsening
+/// baseline the paper's §V-B surveys — Loukas-style structural reduction,
+/// task-agnostic). Repeatedly contracts the heaviest available edge pairs
+/// until at most `target_nodes` super-nodes remain. Super-node features are
+/// size-weighted member means, edges aggregate contracted edge weights,
+/// labels are member majorities, and the mapping assigns each original
+/// node to its super-node with weight 1 — so the artifact plugs into the
+/// same serving path as every other method.
+///
+/// Not part of the paper's evaluated baselines; provided as an extension
+/// (bench_extension_coarsening compares it against MCond).
+CondensedGraph CoarsenGraph(const Graph& original, int64_t target_nodes,
+                            const CoarseningConfig& config, Rng& rng);
+
+}  // namespace mcond
+
+#endif  // MCOND_COARSEN_COARSENING_H_

@@ -1,0 +1,44 @@
+#include "condense/adjacency_generator.h"
+
+namespace mcond {
+
+AdjacencyGenerator::AdjacencyGenerator(int64_t feature_dim,
+                                       int64_t hidden_dim, Rng& rng)
+    : feature_dim_(feature_dim) {
+  mlp_ = std::make_unique<Mlp>(
+      std::vector<int64_t>{2 * feature_dim, hidden_dim, 1},
+      /*dropout=*/0.0f, rng);
+}
+
+Variable AdjacencyGenerator::Forward(const Variable& synthetic_features) const {
+  const int64_t n = synthetic_features->rows();
+  MCOND_CHECK_EQ(synthetic_features->cols(), feature_dim_);
+  // Build all ordered pairs: row p = i*n + j carries [x'_i ; x'_j].
+  std::vector<int64_t> left(static_cast<size_t>(n * n));
+  std::vector<int64_t> right(static_cast<size_t>(n * n));
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      left[static_cast<size_t>(i * n + j)] = i;
+      right[static_cast<size_t>(i * n + j)] = j;
+    }
+  }
+  Variable pairs = ops::ConcatCols(
+      ops::GatherRows(synthetic_features, std::move(left)),
+      ops::GatherRows(synthetic_features, std::move(right)));
+  Variable scores =
+      mlp_->Forward(pairs, /*training=*/false, scratch_rng_);  // (n², 1)
+  Variable score_matrix = ops::Reshape(scores, n, n);
+  Variable symmetric = ops::Scale(
+      ops::Add(score_matrix, ops::Transpose(score_matrix)), 0.5f);
+  return ops::Sigmoid(symmetric);
+}
+
+std::vector<Variable> AdjacencyGenerator::Parameters() const {
+  return mlp_->Parameters();
+}
+
+void AdjacencyGenerator::ResetParameters(Rng& rng) {
+  mlp_->ResetParameters(rng);
+}
+
+}  // namespace mcond

@@ -1,0 +1,85 @@
+#include "condense/artifact_io.h"
+
+#include <cstdint>
+#include <fstream>
+
+#include "core/serialize.h"
+
+namespace mcond {
+
+namespace {
+
+constexpr uint32_t kArtifactMagic = 0x4647434dU;  // 'MCGF'
+constexpr uint32_t kVersion = 1;
+
+}  // namespace
+
+Status SaveCondensedGraph(const std::string& path,
+                          const CondensedGraph& condensed) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::NotFound("cannot open for write: " + path);
+  out.write(reinterpret_cast<const char*>(&kArtifactMagic),
+            sizeof(kArtifactMagic));
+  out.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
+  const int64_t num_classes = condensed.graph.num_classes();
+  const int64_t num_nodes = condensed.graph.NumNodes();
+  out.write(reinterpret_cast<const char*>(&num_classes),
+            sizeof(num_classes));
+  out.write(reinterpret_cast<const char*>(&num_nodes), sizeof(num_nodes));
+  out.write(
+      reinterpret_cast<const char*>(condensed.graph.labels().data()),
+      static_cast<std::streamsize>(num_nodes * sizeof(int64_t)));
+  MCOND_RETURN_IF_ERROR(WriteCsrMatrix(out, condensed.graph.adjacency()));
+  MCOND_RETURN_IF_ERROR(WriteTensor(out, condensed.graph.features()));
+  MCOND_RETURN_IF_ERROR(WriteCsrMatrix(out, condensed.mapping));
+  if (!out.good()) return Status::Internal("artifact write failed");
+  return Status::Ok();
+}
+
+StatusOr<CondensedGraph> LoadCondensedGraph(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("cannot open: " + path);
+  uint32_t magic = 0, version = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (!in.good() || magic != kArtifactMagic) {
+    return Status::InvalidArgument("not a condensed-graph artifact: " + path);
+  }
+  if (version != kVersion) {
+    return Status::InvalidArgument("unsupported artifact version");
+  }
+  int64_t num_classes = 0, num_nodes = 0;
+  in.read(reinterpret_cast<char*>(&num_classes), sizeof(num_classes));
+  in.read(reinterpret_cast<char*>(&num_nodes), sizeof(num_nodes));
+  if (!in.good() || num_classes <= 0 || num_nodes < 0) {
+    return Status::InvalidArgument("corrupt artifact header");
+  }
+  std::vector<int64_t> labels(static_cast<size_t>(num_nodes));
+  in.read(reinterpret_cast<char*>(labels.data()),
+          static_cast<std::streamsize>(num_nodes * sizeof(int64_t)));
+  if (!in.good() && num_nodes > 0) {
+    return Status::InvalidArgument("truncated artifact labels");
+  }
+  StatusOr<CsrMatrix> adjacency = ReadCsrMatrix(in);
+  if (!adjacency.ok()) return adjacency.status();
+  StatusOr<Tensor> features = ReadTensor(in);
+  if (!features.ok()) return features.status();
+  StatusOr<CsrMatrix> mapping = ReadCsrMatrix(in);
+  if (!mapping.ok()) return mapping.status();
+  if (adjacency.value().rows() != num_nodes ||
+      features.value().rows() != num_nodes) {
+    return Status::InvalidArgument("artifact shape mismatch");
+  }
+  for (int64_t y : labels) {
+    if (y < -1 || y >= num_classes) {
+      return Status::InvalidArgument("artifact label out of range");
+    }
+  }
+  CondensedGraph out;
+  out.graph = Graph(std::move(adjacency).value(), std::move(features).value(),
+                    std::move(labels), num_classes);
+  out.mapping = std::move(mapping).value();
+  return out;
+}
+
+}  // namespace mcond

@@ -1,0 +1,26 @@
+#ifndef MCOND_CONDENSE_ARTIFACT_IO_H_
+#define MCOND_CONDENSE_ARTIFACT_IO_H_
+
+#include <string>
+
+#include "condense/condensed.h"
+#include "core/status.h"
+
+namespace mcond {
+
+/// Persists a condensed artifact — the synthetic graph S = {A', X', Y'}
+/// plus the mapping M — as a single binary file. This is the offline→online
+/// handoff of the MCond workflow: condensation runs once on a training
+/// host, the artifact ships to serving hosts, and ServeOnCondensed needs
+/// nothing else (the original graph stays behind, which is the entire
+/// point of the paper).
+Status SaveCondensedGraph(const std::string& path,
+                          const CondensedGraph& condensed);
+
+/// Loads an artifact written by SaveCondensedGraph. Returns
+/// InvalidArgument on corrupt or mismatched files.
+StatusOr<CondensedGraph> LoadCondensedGraph(const std::string& path);
+
+}  // namespace mcond
+
+#endif  // MCOND_CONDENSE_ARTIFACT_IO_H_

@@ -1,0 +1,30 @@
+#ifndef MCOND_CONDENSE_CLASS_DISTRIBUTION_H_
+#define MCOND_CONDENSE_CLASS_DISTRIBUTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/tensor.h"
+#include "graph/graph.h"
+
+namespace mcond {
+
+/// Predefines the synthetic labels Y' (§III-A): class counts proportional
+/// to the labeled-class distribution of the original graph, each class
+/// getting at least one node, totalling exactly `num_synthetic`. Labels are
+/// grouped by class (0...0, 1...1, ...), which the mapping visualization of
+/// Fig. 5 relies on.
+std::vector<int64_t> AllocateSyntheticLabels(const Graph& original,
+                                             int64_t num_synthetic);
+
+/// Initializes X' by sampling, for each synthetic node, a labeled original
+/// node of the same class and copying its features with small Gaussian
+/// jitter (the GCond initialization).
+Tensor InitializeSyntheticFeatures(const Graph& original,
+                                   const std::vector<int64_t>& synthetic_labels,
+                                   Rng& rng);
+
+}  // namespace mcond
+
+#endif  // MCOND_CONDENSE_CLASS_DISTRIBUTION_H_

@@ -1,0 +1,31 @@
+#ifndef MCOND_CONDENSE_CONDENSED_H_
+#define MCOND_CONDENSE_CONDENSED_H_
+
+#include "core/csr_matrix.h"
+#include "graph/graph.h"
+
+namespace mcond {
+
+/// The artifact every graph-reduction method in this library produces: a
+/// small graph S = {A', X', Y'} plus an N×N' node mapping from original to
+/// synthetic nodes. For MCond the mapping is learned (§III-C/D); for coreset
+/// baselines it is the 0/1 selection indicator; for VNG it is the cluster
+/// assignment. A uniform artifact lets the evaluation harness serve
+/// inductive nodes identically for every method via Eq. (11):
+/// links' = a · mapping.
+struct CondensedGraph {
+  Graph graph;
+  CsrMatrix mapping;
+
+  int64_t NumSyntheticNodes() const { return graph.NumNodes(); }
+
+  /// Deployment footprint per the paper's memory model: synthetic adjacency
+  /// + synthetic features + the sparse mapping rows needed for conversion.
+  int64_t StorageBytes() const {
+    return graph.StorageBytes() + mapping.StorageBytes();
+  }
+};
+
+}  // namespace mcond
+
+#endif  // MCOND_CONDENSE_CONDENSED_H_

@@ -1,0 +1,36 @@
+#include "condense/dense_ops.h"
+
+namespace mcond {
+
+Variable NormalizeDenseAdjacency(const Variable& a) {
+  MCOND_CHECK_EQ(a->rows(), a->cols()) << "adjacency must be square";
+  Variable with_loops =
+      ops::Add(a, MakeConstant(Tensor::Identity(a->rows())));
+  Variable degree = ops::RowSum(with_loops);
+  // Degrees are >= 1 thanks to the self-loop, so the fractional power and
+  // the division below are well-defined.
+  Variable dinv_sqrt = ops::PowV(degree, -0.5f);
+  Variable scaled_rows = ops::MulRowBroadcast(with_loops, dinv_sqrt);
+  return ops::MulColBroadcast(scaled_rows, ops::Transpose(dinv_sqrt));
+}
+
+Variable PropagateDense(const Variable& a_hat, const Variable& x,
+                        int64_t depth) {
+  Variable h = x;
+  for (int64_t i = 0; i < depth; ++i) h = ops::MatMul(a_hat, h);
+  return h;
+}
+
+Variable ComposeDenseBlockAdjacency(const Variable& base,
+                                    const Variable& links,
+                                    const Variable& inter) {
+  MCOND_CHECK_EQ(base->rows(), base->cols());
+  MCOND_CHECK_EQ(links->cols(), base->cols());
+  MCOND_CHECK_EQ(inter->rows(), links->rows());
+  MCOND_CHECK_EQ(inter->cols(), links->rows());
+  Variable top = ops::ConcatCols(base, ops::Transpose(links));
+  Variable bottom = ops::ConcatCols(links, inter);
+  return ops::ConcatRows(top, bottom);
+}
+
+}  // namespace mcond

@@ -1,0 +1,30 @@
+#ifndef MCOND_CONDENSE_DENSE_OPS_H_
+#define MCOND_CONDENSE_DENSE_OPS_H_
+
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+
+namespace mcond {
+
+/// Differentiable GCN normalization of a dense adjacency Variable:
+/// Â = D^{-1/2}(A + I)D^{-1/2} with D = rowsum(A + I). Used wherever the
+/// adjacency itself carries gradients — the generated A' during S updates
+/// and the composed block adjacency (through aM) during M updates.
+Variable NormalizeDenseAdjacency(const Variable& a);
+
+/// Â^depth · x with a dense Â (the SGC propagation on small graphs).
+Variable PropagateDense(const Variable& a_hat, const Variable& x,
+                        int64_t depth);
+
+/// Assembles the differentiable block adjacency of Eq. (11):
+///   | base     linksᵀ |
+///   | links    inter  |
+/// All blocks are dense Variables; typically `links` = aM carries the
+/// gradient and the others are constants.
+Variable ComposeDenseBlockAdjacency(const Variable& base,
+                                    const Variable& links,
+                                    const Variable& inter);
+
+}  // namespace mcond
+
+#endif  // MCOND_CONDENSE_DENSE_OPS_H_

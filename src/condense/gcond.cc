@@ -1,0 +1,22 @@
+#include "condense/gcond.h"
+
+namespace mcond {
+
+MCondResult RunGCond(const Graph& original, int64_t num_synthetic,
+                     const MCondConfig& base_config, uint64_t seed) {
+  MCondConfig config = base_config;
+  config.learn_mapping = false;
+  config.use_structure_loss = false;
+  config.use_inductive_loss = false;
+  // Both methods get the same number of synthetic-graph optimization steps
+  // (MCond's mapping steps are extra work on its own component).
+  config.m_steps_per_round = 0;
+  HeldOutBatch empty_support;
+  empty_support.features = Tensor(0, original.FeatureDim());
+  empty_support.links =
+      CsrMatrix::FromTriplets(0, original.NumNodes(), {});
+  empty_support.inter = CsrMatrix::FromTriplets(0, 0, {});
+  return RunMCond(original, empty_support, num_synthetic, config, seed);
+}
+
+}  // namespace mcond

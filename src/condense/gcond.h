@@ -1,0 +1,21 @@
+#ifndef MCOND_CONDENSE_GCOND_H_
+#define MCOND_CONDENSE_GCOND_H_
+
+#include "condense/mcond.h"
+
+namespace mcond {
+
+/// The GCond baseline (Jin et al., ICLR'22): gradient-matching condensation
+/// only — no structure loss, no node mapping. It shares MCond's engine with
+/// the extra components switched off, exactly matching the "Plain" ablation
+/// of Table V plus predefined labels and the MLP_Φ adjacency.
+///
+/// The returned artifact has an *empty* mapping: a GCond graph cannot
+/// attach inductive nodes, which is the deficiency motivating MCond — its
+/// Table II entry is the S→O setting only.
+MCondResult RunGCond(const Graph& original, int64_t num_synthetic,
+                     const MCondConfig& base_config, uint64_t seed);
+
+}  // namespace mcond
+
+#endif  // MCOND_CONDENSE_GCOND_H_

@@ -1,0 +1,18 @@
+#include "condense/gradient_matching.h"
+
+namespace mcond {
+
+Variable GradientMatchingLoss(const std::vector<Tensor>& grads_original,
+                              const std::vector<Variable>& grads_synthetic) {
+  MCOND_CHECK_EQ(grads_original.size(), grads_synthetic.size());
+  MCOND_CHECK(!grads_original.empty());
+  Variable total;
+  for (size_t l = 0; l < grads_original.size(); ++l) {
+    Variable layer = ops::CosineColumnDistance(
+        MakeConstant(grads_original[l]), grads_synthetic[l]);
+    total = total ? ops::Add(total, layer) : layer;
+  }
+  return total;
+}
+
+}  // namespace mcond

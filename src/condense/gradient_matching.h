@@ -1,0 +1,19 @@
+#ifndef MCOND_CONDENSE_GRADIENT_MATCHING_H_
+#define MCOND_CONDENSE_GRADIENT_MATCHING_H_
+
+#include <vector>
+
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+
+namespace mcond {
+
+/// ℒ_gra of Eq. (5): Σ_ℓ Σ_i (1 − cos(Gᵢ^(ℓ), G'ᵢ^(ℓ))) over the columns of
+/// each layer's gradient matrix. The original-graph side 𝒢ᵀ enters as
+/// constants; the synthetic side 𝒢ˢ as differentiable expressions of X'/Φ.
+Variable GradientMatchingLoss(const std::vector<Tensor>& grads_original,
+                              const std::vector<Variable>& grads_synthetic);
+
+}  // namespace mcond
+
+#endif  // MCOND_CONDENSE_GRADIENT_MATCHING_H_

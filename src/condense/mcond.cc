@@ -1,0 +1,277 @@
+#include "condense/mcond.h"
+
+#include <iostream>
+
+#include "autograd/optimizer.h"
+#include "condense/adjacency_generator.h"
+#include "condense/class_distribution.h"
+#include "condense/dense_ops.h"
+#include "condense/gradient_matching.h"
+#include "condense/relay_sgc.h"
+#include "core/tensor_ops.h"
+#include "graph/compose.h"
+#include "graph/sampling.h"
+
+namespace mcond {
+
+namespace {
+
+/// Propagates features through a sparse normalized adjacency `depth` times.
+Tensor PropagateSparse(const CsrMatrix& a_hat, const Tensor& x,
+                       int64_t depth) {
+  Tensor z = x;
+  for (int64_t i = 0; i < depth; ++i) z = a_hat.SpMM(z);
+  return z;
+}
+
+}  // namespace
+
+CondensedGraph MCondResult::Sparsify(float mu, float delta) const {
+  CondensedGraph out;
+  CsrMatrix adj =
+      CsrMatrix::FromDense(dense_adjacency, /*drop_tol=*/0.0f).Thresholded(mu);
+  out.graph = Graph(std::move(adj), synthetic_features, synthetic_labels,
+                    condensed.graph.num_classes());
+  if (dense_mapping.rows() > 0) {
+    out.mapping = CsrMatrix::FromDense(dense_mapping, /*drop_tol=*/0.0f)
+                      .Thresholded(delta);
+  }
+  return out;
+}
+
+MCondResult RunMCond(const Graph& original, const HeldOutBatch& support,
+                     int64_t num_synthetic, const MCondConfig& config,
+                     uint64_t seed) {
+  Rng rng(seed);
+  const int64_t n_orig = original.NumNodes();
+  const int64_t d = original.FeatureDim();
+  const int64_t num_classes = original.num_classes();
+  MCOND_CHECK_GE(num_synthetic, num_classes);
+  MCOND_CHECK_LT(num_synthetic, n_orig);
+
+  // --- Predefine Y' and initialize X' (§III-A). ---
+  const std::vector<int64_t> synthetic_labels =
+      AllocateSyntheticLabels(original, num_synthetic);
+  Variable x_syn = MakeVariable(
+      InitializeSyntheticFeatures(original, synthetic_labels, rng),
+      /*requires_grad=*/true);
+
+  AdjacencyGenerator generator(d, config.gen_hidden, rng);
+  RelaySgc relay(d, config.relay_hidden, num_classes, config.relay_depth,
+                 rng);
+
+  MappingMatrix mapping(n_orig, num_synthetic, config.mapping);
+  if (config.class_aware_init) {
+    mapping.InitializeClassAware(original.labels(), synthetic_labels);
+  } else {
+    mapping.InitializeRandom(rng);
+  }
+
+  // --- Constants of the original-graph side. ---
+  // The relay is linear, so Â^L X is computed once and reused for every
+  // gradient-matching step and every embedding target.
+  const Tensor z_orig = PropagateSparse(original.normalized_adjacency(),
+                                        original.features(),
+                                        config.relay_depth);
+  const std::vector<int64_t> labeled = original.LabeledNodes();
+  MCOND_CHECK(!labeled.empty());
+  std::vector<int64_t> labeled_y;
+  labeled_y.reserve(labeled.size());
+  for (int64_t i : labeled) {
+    labeled_y.push_back(original.labels()[static_cast<size_t>(i)]);
+  }
+  const Tensor z_labeled = GatherRows(z_orig, labeled);
+
+  // Support-side constants for ℒ_ind: the target embeddings H_sup come from
+  // attaching the support nodes to the *original* graph (Eq. 3) — but they
+  // depend on the relay weights, so only the propagated features are
+  // precomputed here.
+  const int64_t n_sup = support.size();
+  Tensor z_sup_on_original;
+  if (config.use_inductive_loss && config.learn_mapping) {
+    const CsrMatrix composed = ComposeBlockAdjacency(
+        original.adjacency(), support.links, support.inter);
+    const CsrMatrix composed_norm = SymNormalize(composed);
+    const Tensor x_all =
+        ComposeFeatures(original.features(), support.features);
+    const Tensor z_all = PropagateSparse(composed_norm, x_all,
+                                         config.relay_depth);
+    z_sup_on_original = SliceRows(z_all, n_orig, n_orig + n_sup);
+  }
+
+  // --- Optimizers. ---
+  AdamOptimizer opt_features({x_syn}, config.lr_features);
+  AdamOptimizer opt_generator(generator.Parameters(), config.lr_adjacency);
+  // Weight decay keeps the relay's logits calibrated: it trains on the few
+  // synthetic nodes and would otherwise blow up their logit scale, making
+  // the mapping targets H (original graph) unmatchable by any row-
+  // normalized mixture of H' (synthetic) rows.
+  AdamOptimizer opt_relay(relay.Parameters(), config.lr_relay,
+                          /*weight_decay=*/5e-4f);
+  AdamOptimizer opt_mapping(mapping.Parameters(), config.lr_mapping);
+
+  MCondResult result;
+  result.synthetic_labels = synthetic_labels;
+
+  for (int64_t round = 0; round < config.outer_rounds; ++round) {
+    // Fresh relay initialization each round: θ₀ ~ P_θ₀ of Eq. (4).
+    relay.ResetParameters(rng);
+
+    // ---- Update the synthetic graph S (lines 6-11 of Algorithm 1). ----
+    const Tensor mapping_now =
+        config.learn_mapping ? mapping.NormalizedTensor() : Tensor();
+    for (int64_t t = 0; t < config.s_steps_per_round; ++t) {
+      // One-step matching re-draws θ₀ for every step (DosCond).
+      if (config.one_step_matching) relay.ResetParameters(rng);
+      Variable a_syn = generator.Forward(x_syn);
+      Variable a_hat = NormalizeDenseAdjacency(a_syn);
+      Variable z_syn = PropagateDense(a_hat, x_syn, config.relay_depth);
+
+      // ℒ_gra: constant 𝒢ᵀ vs differentiable 𝒢ˢ.
+      const std::vector<Tensor> grads_orig =
+          relay.WeightGradientTensors(z_labeled, labeled_y);
+      const std::vector<Variable> grads_syn =
+          relay.WeightGradients(z_syn, synthetic_labels);
+      Variable loss = GradientMatchingLoss(grads_orig, grads_syn);
+
+      // ℒ_str (Eq. 8): reconstruct sampled original edges from the
+      // mapped-back embeddings H̃ = M H'.
+      if (config.use_structure_loss && config.learn_mapping &&
+          config.lambda > 0.0f) {
+        const EdgeBatch batch = SampleEdgeBatch(
+            original.adjacency(), config.edge_batch, config.edge_batch, rng);
+        if (batch.size() > 0) {
+          Variable h_syn = relay.Logits(z_syn);
+          Variable m_src =
+              MakeConstant(GatherRows(mapping_now, batch.src));
+          Variable m_dst =
+              MakeConstant(GatherRows(mapping_now, batch.dst));
+          Variable scores = ops::RowsDotRows(ops::MatMul(m_src, h_syn),
+                                             ops::MatMul(m_dst, h_syn));
+          Tensor targets(batch.size(), 1);
+          for (int64_t i = 0; i < batch.size(); ++i) {
+            targets.At(i, 0) = batch.target[static_cast<size_t>(i)];
+          }
+          loss = ops::Add(loss,
+                          ops::Scale(ops::BceWithLogits(scores, targets),
+                                     config.lambda));
+        }
+      }
+
+      opt_features.ZeroGrad();
+      opt_generator.ZeroGrad();
+      Backward(loss);
+      opt_features.Step();
+      opt_generator.Step();
+      result.s_loss_history.push_back(loss->value().At(0, 0));
+
+      // Relay update on S (line 11): θ_{t+1} = optimizer(ℒ, f, S). Reuses
+      // the propagated features from this step's forward pass — they are
+      // one optimizer step stale, which avoids a second MLP_Φ forward per
+      // step and does not change the dynamics measurably. One-step
+      // matching never trains the relay during matching.
+      if (!config.one_step_matching) {
+        for (int64_t r = 0; r < config.relay_steps; ++r) {
+          relay.TrainStep(z_syn->value(), synthetic_labels, opt_relay);
+        }
+      }
+    }
+
+    if (!config.learn_mapping) continue;
+
+    // ---- Update the mapping M (lines 12-15 of Algorithm 1). ----
+    // S and θ are frozen; precompute every constant of this round.
+    const Tensor a_syn_now = generator.Forward(x_syn)->value();
+    const Tensor a_hat_now =
+        NormalizeDenseAdjacency(MakeConstant(a_syn_now))->value();
+    Tensor z_syn_now = x_syn->value();
+    for (int64_t l = 0; l < config.relay_depth; ++l) {
+      z_syn_now = MatMul(a_hat_now, z_syn_now);
+    }
+    // Refine the relay on S so the embedding targets below are those of a
+    // trained GNN, not a freshly re-initialized one.
+    for (int64_t r = 0; r < config.relay_refinement_steps; ++r) {
+      relay.TrainStep(z_syn_now, synthetic_labels, opt_relay);
+    }
+    const Tensor h_syn = relay.LogitsTensor(z_syn_now);     // H' (N'×C).
+    const Tensor h_orig = relay.LogitsTensor(z_orig);       // H (N×C).
+    Tensor h_sup_target;                                    // H_sup (n×C).
+    Variable x_combined;
+    if (config.use_inductive_loss) {
+      h_sup_target = relay.LogitsTensor(z_sup_on_original);
+      x_combined = MakeConstant(
+          ComposeFeatures(x_syn->value(), support.features));
+    }
+    const Variable h_syn_const = MakeConstant(h_syn);
+    const Variable h_orig_const = MakeConstant(h_orig);
+    const Variable a_syn_const = MakeConstant(a_syn_now);
+    const Variable inter_const =
+        MakeConstant(support.inter.ToDense());
+
+    for (int64_t t = 0; t < config.m_steps_per_round; ++t) {
+      Variable m_norm = mapping.Normalized();
+
+      // ℒ_tra (Eq. 10): H ≈ M H'.
+      Variable loss = ops::Scale(
+          ops::L21Norm(
+              ops::Sub(h_orig_const, ops::MatMul(m_norm, h_syn_const))),
+          1.0f / static_cast<float>(n_orig));
+
+      // ℒ_ind (Eq. 12): support nodes propagated on S via aM must match
+      // their original-graph embeddings.
+      if (config.use_inductive_loss && n_sup > 0) {
+        Variable links = ops::SpMM(support.links, m_norm);  // aM (n×N').
+        Variable composed = ComposeDenseBlockAdjacency(
+            a_syn_const, links, inter_const);
+        Variable a_hat = NormalizeDenseAdjacency(composed);
+        Variable z = PropagateDense(a_hat, x_combined, config.relay_depth);
+        Variable h_sup_syn = relay.Logits(
+            ops::SliceRows(z, num_synthetic, num_synthetic + n_sup));
+        Variable ind = ops::Scale(
+            ops::L21Norm(
+                ops::Sub(MakeConstant(h_sup_target), h_sup_syn)),
+            1.0f / static_cast<float>(n_sup));
+        loss = ops::Add(loss, ops::Scale(ind, config.beta));
+      }
+
+      opt_mapping.ZeroGrad();
+      Backward(loss);
+      opt_mapping.Step();
+      result.m_loss_history.push_back(loss->value().At(0, 0));
+    }
+
+    if (config.verbose) {
+      std::cout << "[mcond] round " << round << " L_S="
+                << (result.s_loss_history.empty()
+                        ? 0.0f
+                        : result.s_loss_history.back())
+                << " L_M="
+                << (result.m_loss_history.empty()
+                        ? 0.0f
+                        : result.m_loss_history.back())
+                << "\n";
+    }
+  }
+
+  // ---- Final artifacts + sparsification (line 16, Eq. 14). ----
+  result.synthetic_features = x_syn->value();
+  result.dense_adjacency = generator.Forward(x_syn)->value();
+  if (config.learn_mapping) {
+    result.dense_mapping = mapping.NormalizedTensor();
+  }
+  CsrMatrix adj = CsrMatrix::FromDense(result.dense_adjacency, 0.0f)
+                      .Thresholded(config.mu);
+  result.condensed.graph =
+      Graph(std::move(adj), result.synthetic_features,
+            result.synthetic_labels, num_classes);
+  if (config.learn_mapping) {
+    const float delta = config.delta >= 0.0f
+                            ? config.delta
+                            : 2.0f / static_cast<float>(num_synthetic);
+    result.condensed.mapping =
+        CsrMatrix::FromDense(result.dense_mapping, 0.0f).Thresholded(delta);
+  }
+  return result;
+}
+
+}  // namespace mcond

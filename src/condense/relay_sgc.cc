@@ -1,0 +1,82 @@
+#include "condense/relay_sgc.h"
+
+#include "autograd/optimizer.h"
+#include "core/tensor_ops.h"
+#include "nn/metrics.h"
+
+namespace mcond {
+
+RelaySgc::RelaySgc(int64_t in_dim, int64_t hidden_dim, int64_t num_classes,
+                   int64_t depth, Rng& rng)
+    : in_dim_(in_dim),
+      hidden_dim_(hidden_dim),
+      num_classes_(num_classes),
+      depth_(depth) {
+  w1_ = MakeVariable(rng.GlorotTensor(in_dim, hidden_dim),
+                     /*requires_grad=*/true);
+  w2_ = MakeVariable(rng.GlorotTensor(hidden_dim, num_classes),
+                     /*requires_grad=*/true);
+}
+
+Variable RelaySgc::Logits(const Variable& propagated) const {
+  Variable w1c = MakeConstant(w1_->value());
+  Variable w2c = MakeConstant(w2_->value());
+  return ops::MatMul(ops::MatMul(propagated, w1c), w2c);
+}
+
+Tensor RelaySgc::LogitsTensor(const Tensor& propagated) const {
+  return MatMul(MatMul(propagated, w1_->value()), w2_->value());
+}
+
+std::vector<Variable> RelaySgc::WeightGradients(
+    const Variable& propagated, const std::vector<int64_t>& labels) const {
+  MCOND_CHECK_EQ(propagated->rows(), static_cast<int64_t>(labels.size()));
+  const int64_t n = propagated->rows();
+  Variable w1c = MakeConstant(w1_->value());
+  Variable w2c = MakeConstant(w2_->value());
+  Variable zw1 = ops::MatMul(propagated, w1c);
+  Variable probs = ops::SoftmaxRows(ops::MatMul(zw1, w2c));
+  Variable residual = ops::Scale(
+      ops::Sub(probs, MakeConstant(OneHot(labels, num_classes_))),
+      1.0f / static_cast<float>(n));
+  Variable g2 = ops::MatMul(ops::Transpose(zw1), residual);
+  Variable g1 = ops::MatMul(ops::Transpose(propagated),
+                            ops::MatMul(residual, ops::Transpose(w2c)));
+  return {g1, g2};
+}
+
+std::vector<Tensor> RelaySgc::WeightGradientTensors(
+    const Tensor& propagated, const std::vector<int64_t>& labels) const {
+  MCOND_CHECK_EQ(propagated.rows(), static_cast<int64_t>(labels.size()));
+  const int64_t n = propagated.rows();
+  const Tensor zw1 = MatMul(propagated, w1_->value());
+  const Tensor probs = SoftmaxRows(MatMul(zw1, w2_->value()));
+  Tensor residual = Sub(probs, OneHot(labels, num_classes_));
+  residual = Scale(residual, 1.0f / static_cast<float>(n));
+  Tensor g2 = MatMulTransA(zw1, residual);
+  Tensor g1 = MatMulTransA(propagated, MatMulTransB(residual, w2_->value()));
+  return {g1, g2};
+}
+
+float RelaySgc::TrainStep(const Tensor& propagated,
+                          const std::vector<int64_t>& labels,
+                          Optimizer& optimizer) {
+  Variable z = MakeConstant(propagated);
+  Variable logits = ops::MatMul(ops::MatMul(z, w1_), w2_);
+  Variable loss = ops::SoftmaxCrossEntropy(logits, labels);
+  optimizer.ZeroGrad();
+  Backward(loss);
+  optimizer.Step();
+  return loss->value().At(0, 0);
+}
+
+std::vector<Variable> RelaySgc::Parameters() const { return {w1_, w2_}; }
+
+void RelaySgc::ResetParameters(Rng& rng) {
+  w1_->mutable_value() = rng.GlorotTensor(in_dim_, hidden_dim_);
+  w2_->mutable_value() = rng.GlorotTensor(hidden_dim_, num_classes_);
+  w1_->ZeroGrad();
+  w2_->ZeroGrad();
+}
+
+}  // namespace mcond

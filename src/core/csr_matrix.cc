@@ -1,0 +1,217 @@
+#include "core/csr_matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mcond {
+
+CsrMatrix CsrMatrix::FromTriplets(int64_t rows, int64_t cols,
+                                  std::vector<Triplet> triplets) {
+  for (const Triplet& t : triplets) {
+    MCOND_CHECK(t.row >= 0 && t.row < rows && t.col >= 0 && t.col < cols)
+        << "triplet (" << t.row << "," << t.col << ") out of " << rows << "x"
+        << cols;
+  }
+  std::sort(triplets.begin(), triplets.end(),
+            [](const Triplet& a, const Triplet& b) {
+              return a.row != b.row ? a.row < b.row : a.col < b.col;
+            });
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_.assign(static_cast<size_t>(rows) + 1, 0);
+  m.col_idx_.reserve(triplets.size());
+  m.values_.reserve(triplets.size());
+  size_t i = 0;
+  while (i < triplets.size()) {
+    const int64_t r = triplets[i].row;
+    const int64_t c = triplets[i].col;
+    float v = triplets[i].value;
+    size_t j = i + 1;
+    while (j < triplets.size() && triplets[j].row == r &&
+           triplets[j].col == c) {
+      v += triplets[j].value;
+      ++j;
+    }
+    m.col_idx_.push_back(static_cast<int32_t>(c));
+    m.values_.push_back(v);
+    m.row_ptr_[static_cast<size_t>(r) + 1] =
+        static_cast<int64_t>(m.col_idx_.size());
+    i = j;
+  }
+  // Rows with no entries inherit the previous row's end offset.
+  for (size_t r = 1; r < m.row_ptr_.size(); ++r) {
+    m.row_ptr_[r] = std::max(m.row_ptr_[r], m.row_ptr_[r - 1]);
+  }
+  return m;
+}
+
+CsrMatrix CsrMatrix::Identity(int64_t n) {
+  std::vector<Triplet> t;
+  t.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) t.push_back({i, i, 1.0f});
+  return FromTriplets(n, n, std::move(t));
+}
+
+CsrMatrix CsrMatrix::FromDense(const Tensor& dense, float drop_tol) {
+  std::vector<Triplet> t;
+  for (int64_t i = 0; i < dense.rows(); ++i) {
+    const float* row = dense.RowData(i);
+    for (int64_t j = 0; j < dense.cols(); ++j) {
+      if (std::fabs(row[j]) > drop_tol) t.push_back({i, j, row[j]});
+    }
+  }
+  return FromTriplets(dense.rows(), dense.cols(), std::move(t));
+}
+
+float CsrMatrix::At(int64_t r, int64_t c) const {
+  MCOND_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+  const int64_t begin = row_ptr_[static_cast<size_t>(r)];
+  const int64_t end = row_ptr_[static_cast<size_t>(r) + 1];
+  const auto first = col_idx_.begin() + begin;
+  const auto last = col_idx_.begin() + end;
+  const auto it = std::lower_bound(first, last, static_cast<int32_t>(c));
+  if (it != last && *it == c) {
+    return values_[static_cast<size_t>(it - col_idx_.begin())];
+  }
+  return 0.0f;
+}
+
+bool CsrMatrix::HasEntry(int64_t r, int64_t c) const {
+  const int64_t begin = row_ptr_[static_cast<size_t>(r)];
+  const int64_t end = row_ptr_[static_cast<size_t>(r) + 1];
+  const auto first = col_idx_.begin() + begin;
+  const auto last = col_idx_.begin() + end;
+  return std::binary_search(first, last, static_cast<int32_t>(c));
+}
+
+std::vector<float> CsrMatrix::RowSums() const {
+  std::vector<float> sums(static_cast<size_t>(rows_), 0.0f);
+  for (int64_t r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (int64_t k = row_ptr_[static_cast<size_t>(r)];
+         k < row_ptr_[static_cast<size_t>(r) + 1]; ++k) {
+      acc += values_[static_cast<size_t>(k)];
+    }
+    sums[static_cast<size_t>(r)] = static_cast<float>(acc);
+  }
+  return sums;
+}
+
+Tensor CsrMatrix::SpMM(const Tensor& x) const {
+  MCOND_CHECK_EQ(cols_, x.rows()) << "SpMM shape mismatch";
+  Tensor y(rows_, x.cols());
+  const int64_t d = x.cols();
+  for (int64_t r = 0; r < rows_; ++r) {
+    float* yrow = y.RowData(r);
+    for (int64_t k = row_ptr_[static_cast<size_t>(r)];
+         k < row_ptr_[static_cast<size_t>(r) + 1]; ++k) {
+      const float v = values_[static_cast<size_t>(k)];
+      const float* xrow = x.RowData(col_idx_[static_cast<size_t>(k)]);
+      for (int64_t j = 0; j < d; ++j) yrow[j] += v * xrow[j];
+    }
+  }
+  return y;
+}
+
+Tensor CsrMatrix::SpMMTransposed(const Tensor& x) const {
+  MCOND_CHECK_EQ(rows_, x.rows()) << "SpMMTransposed shape mismatch";
+  Tensor y(cols_, x.cols());
+  const int64_t d = x.cols();
+  for (int64_t r = 0; r < rows_; ++r) {
+    const float* xrow = x.RowData(r);
+    for (int64_t k = row_ptr_[static_cast<size_t>(r)];
+         k < row_ptr_[static_cast<size_t>(r) + 1]; ++k) {
+      const float v = values_[static_cast<size_t>(k)];
+      float* yrow = y.RowData(col_idx_[static_cast<size_t>(k)]);
+      for (int64_t j = 0; j < d; ++j) yrow[j] += v * xrow[j];
+    }
+  }
+  return y;
+}
+
+CsrMatrix CsrMatrix::Transpose() const {
+  std::vector<Triplet> t;
+  t.reserve(values_.size());
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t k = row_ptr_[static_cast<size_t>(r)];
+         k < row_ptr_[static_cast<size_t>(r) + 1]; ++k) {
+      t.push_back({col_idx_[static_cast<size_t>(k)], r,
+                   values_[static_cast<size_t>(k)]});
+    }
+  }
+  return FromTriplets(cols_, rows_, std::move(t));
+}
+
+CsrMatrix CsrMatrix::Multiply(const CsrMatrix& a, const CsrMatrix& b) {
+  MCOND_CHECK_EQ(a.cols(), b.rows()) << "SpGEMM shape mismatch";
+  // Row-by-row with a dense accumulator over b's columns; fine because the
+  // right operand in our workloads (mapping M, synthetic adjacency A') has
+  // few columns.
+  std::vector<float> acc(static_cast<size_t>(b.cols()), 0.0f);
+  std::vector<bool> used(static_cast<size_t>(b.cols()), false);
+  std::vector<Triplet> out;
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    std::vector<int64_t> touched;
+    for (int64_t ka = a.row_ptr_[static_cast<size_t>(r)];
+         ka < a.row_ptr_[static_cast<size_t>(r) + 1]; ++ka) {
+      const float av = a.values_[static_cast<size_t>(ka)];
+      const int64_t mid = a.col_idx_[static_cast<size_t>(ka)];
+      for (int64_t kb = b.row_ptr_[static_cast<size_t>(mid)];
+           kb < b.row_ptr_[static_cast<size_t>(mid) + 1]; ++kb) {
+        const int64_t c = b.col_idx_[static_cast<size_t>(kb)];
+        if (!used[static_cast<size_t>(c)]) {
+          used[static_cast<size_t>(c)] = true;
+          touched.push_back(c);
+        }
+        acc[static_cast<size_t>(c)] += av * b.values_[static_cast<size_t>(kb)];
+      }
+    }
+    for (int64_t c : touched) {
+      out.push_back({r, c, acc[static_cast<size_t>(c)]});
+      acc[static_cast<size_t>(c)] = 0.0f;
+      used[static_cast<size_t>(c)] = false;
+    }
+  }
+  return FromTriplets(a.rows(), b.cols(), std::move(out));
+}
+
+Tensor CsrMatrix::ToDense() const {
+  Tensor d(rows_, cols_);
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t k = row_ptr_[static_cast<size_t>(r)];
+         k < row_ptr_[static_cast<size_t>(r) + 1]; ++k) {
+      d.At(r, col_idx_[static_cast<size_t>(k)]) =
+          values_[static_cast<size_t>(k)];
+    }
+  }
+  return d;
+}
+
+CsrMatrix CsrMatrix::Scaled(float s) const {
+  CsrMatrix out = *this;
+  for (float& v : out.values_) v *= s;
+  return out;
+}
+
+CsrMatrix CsrMatrix::Thresholded(float threshold) const {
+  std::vector<Triplet> t;
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t k = row_ptr_[static_cast<size_t>(r)];
+         k < row_ptr_[static_cast<size_t>(r) + 1]; ++k) {
+      const float v = values_[static_cast<size_t>(k)];
+      if (v >= threshold) {
+        t.push_back({r, col_idx_[static_cast<size_t>(k)], v});
+      }
+    }
+  }
+  return FromTriplets(rows_, cols_, std::move(t));
+}
+
+int64_t CsrMatrix::StorageBytes() const {
+  return static_cast<int64_t>(values_.size() * sizeof(float)) +
+         static_cast<int64_t>(col_idx_.size() * sizeof(int32_t)) +
+         static_cast<int64_t>(row_ptr_.size() * sizeof(int64_t));
+}
+
+}  // namespace mcond

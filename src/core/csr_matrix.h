@@ -1,0 +1,104 @@
+#ifndef MCOND_CORE_CSR_MATRIX_H_
+#define MCOND_CORE_CSR_MATRIX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/tensor.h"
+
+namespace mcond {
+
+/// A single (row, col, value) entry used to assemble sparse matrices.
+struct Triplet {
+  int64_t row = 0;
+  int64_t col = 0;
+  float value = 0.0f;
+};
+
+/// Compressed-sparse-row matrix of float. This is the adjacency
+/// representation used everywhere: the original graph A, the sparsified
+/// synthetic adjacency A', the sparsified mapping M, and the composed
+/// block matrices of Eq. (3)/(11).
+///
+/// Invariants: row_ptr has rows+1 entries, is non-decreasing, and column
+/// indices within each row are strictly increasing (duplicates are summed
+/// during construction).
+class CsrMatrix {
+ public:
+  /// Constructs an empty 0×0 matrix.
+  CsrMatrix() : rows_(0), cols_(0), row_ptr_(1, 0) {}
+
+  /// Builds from possibly-unsorted triplets; duplicate (row, col) pairs are
+  /// summed, and explicit zeros produced by summation are kept (they still
+  /// occupy storage, mirroring real sparse libraries).
+  static CsrMatrix FromTriplets(int64_t rows, int64_t cols,
+                                std::vector<Triplet> triplets);
+
+  /// n×n identity.
+  static CsrMatrix Identity(int64_t n);
+
+  /// Converts a dense tensor, dropping entries with |x| <= drop_tol.
+  static CsrMatrix FromDense(const Tensor& dense, float drop_tol = 0.0f);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t Nnz() const { return static_cast<int64_t>(col_idx_.size()); }
+
+  const std::vector<int64_t>& row_ptr() const { return row_ptr_; }
+  const std::vector<int32_t>& col_idx() const { return col_idx_; }
+  const std::vector<float>& values() const { return values_; }
+  std::vector<float>& mutable_values() { return values_; }
+
+  /// Value at (r, c); 0 if not stored. O(log nnz(row)) via binary search.
+  float At(int64_t r, int64_t c) const;
+
+  /// Number of stored entries in row r.
+  int64_t RowNnz(int64_t r) const {
+    return row_ptr_[static_cast<size_t>(r) + 1] -
+           row_ptr_[static_cast<size_t>(r)];
+  }
+
+  /// Sum of stored values per row (weighted out-degree), as an n-vector.
+  std::vector<float> RowSums() const;
+
+  /// Y = this · X where X is dense. The core message-passing kernel.
+  Tensor SpMM(const Tensor& x) const;
+
+  /// Y = thisᵀ · X without materializing the transpose.
+  Tensor SpMMTransposed(const Tensor& x) const;
+
+  /// Structural transpose.
+  CsrMatrix Transpose() const;
+
+  /// C = A · B for two sparse matrices (SpGEMM). Used at serving time to
+  /// convert inductive-node links via the mapping: aM in Eq. (11).
+  static CsrMatrix Multiply(const CsrMatrix& a, const CsrMatrix& b);
+
+  /// Dense copy; only for small matrices and tests.
+  Tensor ToDense() const;
+
+  /// Entrywise scale of stored values.
+  CsrMatrix Scaled(float s) const;
+
+  /// this with any entries whose value < threshold removed (Eq. 14
+  /// sparsification semantics: keep x if x >= threshold).
+  CsrMatrix Thresholded(float threshold) const;
+
+  /// Bytes needed to store the matrix: values + column indices + row
+  /// pointers. This is the `||A||_0` term of the paper's memory model.
+  int64_t StorageBytes() const;
+
+  /// True if (r, c) is stored (regardless of value).
+  bool HasEntry(int64_t r, int64_t c) const;
+
+ private:
+  int64_t rows_;
+  int64_t cols_;
+  std::vector<int64_t> row_ptr_;
+  std::vector<int32_t> col_idx_;
+  std::vector<float> values_;
+};
+
+}  // namespace mcond
+
+#endif  // MCOND_CORE_CSR_MATRIX_H_

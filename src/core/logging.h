@@ -1,0 +1,58 @@
+#ifndef MCOND_CORE_LOGGING_H_
+#define MCOND_CORE_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace mcond {
+namespace internal_logging {
+
+/// Accumulates a message via operator<< and aborts the process when
+/// destroyed. Used by MCOND_CHECK for unrecoverable invariant violations
+/// (the project is exception-free, per the Google style guide).
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition) {
+    stream_ << file << ":" << line << " check failed: " << condition << " ";
+  }
+  [[noreturn]] ~FatalMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Lets the ternary in MCOND_CHECK produce void on both branches: `&` binds
+/// looser than `<<`, so all streamed operands are evaluated first (the glog
+/// idiom).
+class Voidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal_logging
+}  // namespace mcond
+
+/// Aborts with a diagnostic if `cond` is false. For programmer errors
+/// (shape mismatches inside the library, broken invariants), not for
+/// recoverable input validation — use Status for the latter. Additional
+/// context can be streamed: MCOND_CHECK(n > 0) << "n=" << n;
+#define MCOND_CHECK(cond)                                          \
+  (cond) ? static_cast<void>(0)                                    \
+         : ::mcond::internal_logging::Voidify() &                  \
+               ::mcond::internal_logging::FatalMessage(            \
+                   __FILE__, __LINE__, #cond)                      \
+                   .stream()
+
+#define MCOND_CHECK_EQ(a, b) MCOND_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MCOND_CHECK_NE(a, b) MCOND_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MCOND_CHECK_LT(a, b) MCOND_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MCOND_CHECK_LE(a, b) MCOND_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MCOND_CHECK_GT(a, b) MCOND_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define MCOND_CHECK_GE(a, b) MCOND_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // MCOND_CORE_LOGGING_H_

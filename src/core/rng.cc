@@ -1,0 +1,43 @@
+#include "core/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace mcond {
+
+std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t n, int64_t k) {
+  MCOND_CHECK(k >= 0 && k <= n) << "sample " << k << " of " << n;
+  // Partial Fisher-Yates: O(n) memory but only k swaps.
+  std::vector<int64_t> pool(static_cast<size_t>(n));
+  std::iota(pool.begin(), pool.end(), 0);
+  for (int64_t i = 0; i < k; ++i) {
+    const int64_t j = RandInt(i, n - 1);
+    std::swap(pool[static_cast<size_t>(i)], pool[static_cast<size_t>(j)]);
+  }
+  pool.resize(static_cast<size_t>(k));
+  return pool;
+}
+
+Tensor Rng::NormalTensor(int64_t rows, int64_t cols, float mean,
+                         float stddev) {
+  Tensor t(rows, cols);
+  float* p = t.data();
+  for (int64_t i = 0; i < t.size(); ++i) p[i] = Normal(mean, stddev);
+  return t;
+}
+
+Tensor Rng::UniformTensor(int64_t rows, int64_t cols, float lo, float hi) {
+  Tensor t(rows, cols);
+  float* p = t.data();
+  for (int64_t i = 0; i < t.size(); ++i) p[i] = Uniform(lo, hi);
+  return t;
+}
+
+Tensor Rng::GlorotTensor(int64_t fan_in, int64_t fan_out) {
+  const float limit =
+      std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  return UniformTensor(fan_in, fan_out, -limit, limit);
+}
+
+}  // namespace mcond

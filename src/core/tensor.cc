@@ -1,0 +1,54 @@
+#include "core/tensor.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace mcond {
+
+Tensor Tensor::Full(int64_t rows, int64_t cols, float value) {
+  Tensor t(rows, cols);
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::Identity(int64_t n) {
+  Tensor t(n, n);
+  for (int64_t i = 0; i < n; ++i) t.At(i, i) = 1.0f;
+  return t;
+}
+
+Tensor Tensor::FromVector(int64_t rows, int64_t cols,
+                          std::vector<float> data) {
+  MCOND_CHECK_EQ(static_cast<int64_t>(data.size()), rows * cols);
+  Tensor t;
+  t.rows_ = rows;
+  t.cols_ = cols;
+  t.data_ = std::move(data);
+  return t;
+}
+
+void Tensor::Fill(float value) {
+  for (float& x : data_) x = value;
+}
+
+bool Tensor::AllFinite() const {
+  for (float x : data_) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+std::string Tensor::DebugString(int64_t max_entries) const {
+  std::ostringstream os;
+  os << "Tensor(" << rows_ << "x" << cols_ << ") [";
+  int64_t n = std::min<int64_t>(max_entries, size());
+  for (int64_t i = 0; i < n; ++i) {
+    if (i) os << ", ";
+    os << data_[static_cast<size_t>(i)];
+  }
+  if (n < size()) os << ", ...";
+  os << "]";
+  return os.str();
+}
+
+}  // namespace mcond

@@ -1,0 +1,94 @@
+#ifndef MCOND_CORE_TENSOR_H_
+#define MCOND_CORE_TENSOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/logging.h"
+
+namespace mcond {
+
+/// A dense row-major matrix of float. This is the single numeric container
+/// used throughout the library: node feature matrices, GNN weights, mapping
+/// matrices, gradients. Vectors are represented as 1×n or n×1 tensors.
+///
+/// Tensor is a value type: copyable, movable, cheap default construction.
+/// Heavy math lives in tensor_ops.h; the class itself only owns storage and
+/// provides indexed access plus a few O(size) conveniences.
+class Tensor {
+ public:
+  /// Constructs an empty 0×0 tensor.
+  Tensor() : rows_(0), cols_(0) {}
+
+  /// Constructs a zero-filled rows×cols tensor.
+  Tensor(int64_t rows, int64_t cols)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows * cols), 0.0f) {
+    MCOND_CHECK_GE(rows, 0);
+    MCOND_CHECK_GE(cols, 0);
+  }
+
+  Tensor(const Tensor&) = default;
+  Tensor& operator=(const Tensor&) = default;
+  Tensor(Tensor&&) noexcept = default;
+  Tensor& operator=(Tensor&&) noexcept = default;
+
+  /// Named constructors.
+  static Tensor Zeros(int64_t rows, int64_t cols) { return Tensor(rows, cols); }
+  static Tensor Full(int64_t rows, int64_t cols, float value);
+  static Tensor Ones(int64_t rows, int64_t cols) {
+    return Full(rows, cols, 1.0f);
+  }
+  static Tensor Identity(int64_t n);
+  /// Takes ownership of `data`, which must have rows*cols entries laid out
+  /// row-major.
+  static Tensor FromVector(int64_t rows, int64_t cols,
+                           std::vector<float> data);
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t size() const { return rows_ * cols_; }
+  bool empty() const { return size() == 0; }
+  bool SameShape(const Tensor& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  float& At(int64_t r, int64_t c) {
+    MCOND_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_)
+        << "index (" << r << "," << c << ") out of " << rows_ << "x" << cols_;
+    return data_[static_cast<size_t>(r * cols_ + c)];
+  }
+  float At(int64_t r, int64_t c) const {
+    MCOND_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_)
+        << "index (" << r << "," << c << ") out of " << rows_ << "x" << cols_;
+    return data_[static_cast<size_t>(r * cols_ + c)];
+  }
+
+  /// Raw row-major storage. Row r occupies [data() + r*cols, +cols).
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float* RowData(int64_t r) { return data_.data() + r * cols_; }
+  const float* RowData(int64_t r) const { return data_.data() + r * cols_; }
+
+  /// Sets every entry to `value`.
+  void Fill(float value);
+  /// Sets every entry to zero.
+  void SetZero() { Fill(0.0f); }
+
+  /// True iff every entry is finite (no NaN/Inf). Used by tests and
+  /// optimizer sanity checks.
+  bool AllFinite() const;
+
+  /// "Tensor(3x4)" plus up to `max_entries` values; for debugging.
+  std::string DebugString(int64_t max_entries = 16) const;
+
+ private:
+  int64_t rows_;
+  int64_t cols_;
+  std::vector<float> data_;
+};
+
+}  // namespace mcond
+
+#endif  // MCOND_CORE_TENSOR_H_

@@ -1,0 +1,345 @@
+#include "core/tensor_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mcond {
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  MCOND_CHECK_EQ(a.cols(), b.rows()) << "MatMul shape mismatch";
+  Tensor c(a.rows(), b.cols());
+  const int64_t m = a.rows(), k = a.cols(), n = b.cols();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a.RowData(i);
+    float* crow = c.RowData(i);
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b.RowData(p);
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
+  MCOND_CHECK_EQ(a.rows(), b.rows()) << "MatMulTransA shape mismatch";
+  Tensor c(a.cols(), b.cols());
+  const int64_t m = a.rows(), k = a.cols(), n = b.cols();
+  // c[p][j] += a[i][p] * b[i][j]: iterate rows of a and b together; the
+  // inner loop over j stays contiguous.
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a.RowData(i);
+    const float* brow = b.RowData(i);
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      float* crow = c.RowData(p);
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
+  MCOND_CHECK_EQ(a.cols(), b.cols()) << "MatMulTransB shape mismatch";
+  Tensor c(a.rows(), b.rows());
+  const int64_t m = a.rows(), k = a.cols(), n = b.rows();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a.RowData(i);
+    float* crow = c.RowData(i);
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = b.RowData(j);
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] = acc;
+    }
+  }
+  return c;
+}
+
+namespace {
+
+template <typename F>
+Tensor Elementwise(const Tensor& a, F f) {
+  Tensor out(a.rows(), a.cols());
+  const float* src = a.data();
+  float* dst = out.data();
+  const int64_t n = a.size();
+  for (int64_t i = 0; i < n; ++i) dst[i] = f(src[i]);
+  return out;
+}
+
+template <typename F>
+Tensor Binary(const Tensor& a, const Tensor& b, F f) {
+  MCOND_CHECK(a.SameShape(b)) << "shape mismatch " << a.rows() << "x"
+                              << a.cols() << " vs " << b.rows() << "x"
+                              << b.cols();
+  Tensor out(a.rows(), a.cols());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* dst = out.data();
+  const int64_t n = a.size();
+  for (int64_t i = 0; i < n; ++i) dst[i] = f(pa[i], pb[i]);
+  return out;
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return Binary(a, b, [](float x, float y) { return x + y; });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return Binary(a, b, [](float x, float y) { return x - y; });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return Binary(a, b, [](float x, float y) { return x * y; });
+}
+
+Tensor Scale(const Tensor& a, float s) {
+  return Elementwise(a, [s](float x) { return s * x; });
+}
+
+void AxpyInPlace(Tensor& a, float s, const Tensor& b) {
+  MCOND_CHECK(a.SameShape(b)) << "AxpyInPlace shape mismatch";
+  float* pa = a.data();
+  const float* pb = b.data();
+  const int64_t n = a.size();
+  for (int64_t i = 0; i < n; ++i) pa[i] += s * pb[i];
+}
+
+Tensor AddRowBroadcast(const Tensor& a, const Tensor& row) {
+  MCOND_CHECK_EQ(row.rows(), 1);
+  MCOND_CHECK_EQ(row.cols(), a.cols());
+  Tensor out = a;
+  const float* r = row.data();
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    float* orow = out.RowData(i);
+    for (int64_t j = 0; j < a.cols(); ++j) orow[j] += r[j];
+  }
+  return out;
+}
+
+Tensor Transpose(const Tensor& a) {
+  Tensor out(a.cols(), a.rows());
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    const float* arow = a.RowData(i);
+    for (int64_t j = 0; j < a.cols(); ++j) out.At(j, i) = arow[j];
+  }
+  return out;
+}
+
+Tensor Relu(const Tensor& a) {
+  return Elementwise(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+
+Tensor ReluMask(const Tensor& pre_activation) {
+  return Elementwise(pre_activation,
+                     [](float x) { return x > 0.0f ? 1.0f : 0.0f; });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return Elementwise(a, [](float x) {
+    // Split by sign for numerical stability on large |x|.
+    if (x >= 0.0f) return 1.0f / (1.0f + std::exp(-x));
+    const float e = std::exp(x);
+    return e / (1.0f + e);
+  });
+}
+
+Tensor TanhT(const Tensor& a) {
+  return Elementwise(a, [](float x) { return std::tanh(x); });
+}
+
+Tensor ExpT(const Tensor& a) {
+  return Elementwise(a, [](float x) { return std::exp(x); });
+}
+
+Tensor LogT(const Tensor& a) {
+  return Elementwise(a, [](float x) { return std::log(x); });
+}
+
+Tensor Abs(const Tensor& a) {
+  return Elementwise(a, [](float x) { return std::fabs(x); });
+}
+
+Tensor SoftmaxRows(const Tensor& a) {
+  Tensor out(a.rows(), a.cols());
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    const float* src = a.RowData(i);
+    float* dst = out.RowData(i);
+    float mx = src[0];
+    for (int64_t j = 1; j < a.cols(); ++j) mx = std::max(mx, src[j]);
+    float sum = 0.0f;
+    for (int64_t j = 0; j < a.cols(); ++j) {
+      dst[j] = std::exp(src[j] - mx);
+      sum += dst[j];
+    }
+    const float inv = 1.0f / sum;
+    for (int64_t j = 0; j < a.cols(); ++j) dst[j] *= inv;
+  }
+  return out;
+}
+
+std::vector<int64_t> ArgmaxRows(const Tensor& a) {
+  std::vector<int64_t> out(static_cast<size_t>(a.rows()));
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    const float* row = a.RowData(i);
+    int64_t best = 0;
+    for (int64_t j = 1; j < a.cols(); ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    out[static_cast<size_t>(i)] = best;
+  }
+  return out;
+}
+
+float Sum(const Tensor& a) {
+  double acc = 0.0;
+  const float* p = a.data();
+  for (int64_t i = 0; i < a.size(); ++i) acc += p[i];
+  return static_cast<float>(acc);
+}
+
+float Dot(const Tensor& a, const Tensor& b) {
+  MCOND_CHECK(a.SameShape(b)) << "Dot shape mismatch";
+  double acc = 0.0;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < a.size(); ++i) acc += double(pa[i]) * pb[i];
+  return static_cast<float>(acc);
+}
+
+float FrobeniusNorm(const Tensor& a) {
+  return std::sqrt(std::max(0.0f, Dot(a, a)));
+}
+
+float MaxAbs(const Tensor& a) {
+  float mx = 0.0f;
+  const float* p = a.data();
+  for (int64_t i = 0; i < a.size(); ++i) mx = std::max(mx, std::fabs(p[i]));
+  return mx;
+}
+
+Tensor RowSum(const Tensor& a) {
+  Tensor out(a.rows(), 1);
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    const float* row = a.RowData(i);
+    double acc = 0.0;
+    for (int64_t j = 0; j < a.cols(); ++j) acc += row[j];
+    out.At(i, 0) = static_cast<float>(acc);
+  }
+  return out;
+}
+
+Tensor RowL2Norm(const Tensor& a) {
+  Tensor out(a.rows(), 1);
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    const float* row = a.RowData(i);
+    double acc = 0.0;
+    for (int64_t j = 0; j < a.cols(); ++j) acc += double(row[j]) * row[j];
+    out.At(i, 0) = static_cast<float>(std::sqrt(acc));
+  }
+  return out;
+}
+
+Tensor ColSum(const Tensor& a) {
+  Tensor out(1, a.cols());
+  float* dst = out.data();
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    const float* row = a.RowData(i);
+    for (int64_t j = 0; j < a.cols(); ++j) dst[j] += row[j];
+  }
+  return out;
+}
+
+Tensor ColL2Norm(const Tensor& a) {
+  Tensor sq(1, a.cols());
+  float* dst = sq.data();
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    const float* row = a.RowData(i);
+    for (int64_t j = 0; j < a.cols(); ++j) dst[j] += row[j] * row[j];
+  }
+  for (int64_t j = 0; j < a.cols(); ++j) dst[j] = std::sqrt(dst[j]);
+  return sq;
+}
+
+float L21Norm(const Tensor& a) {
+  return Sum(RowL2Norm(a));
+}
+
+Tensor ConcatRows(const Tensor& top, const Tensor& bottom) {
+  if (top.empty() && top.rows() == 0) {
+    // Allow stacking onto an empty tensor of matching width or a 0x0.
+    if (top.cols() == 0) return bottom;
+  }
+  MCOND_CHECK_EQ(top.cols(), bottom.cols()) << "ConcatRows width mismatch";
+  Tensor out(top.rows() + bottom.rows(), top.cols());
+  std::copy(top.data(), top.data() + top.size(), out.data());
+  std::copy(bottom.data(), bottom.data() + bottom.size(),
+            out.data() + top.size());
+  return out;
+}
+
+Tensor ConcatCols(const Tensor& left, const Tensor& right) {
+  MCOND_CHECK_EQ(left.rows(), right.rows()) << "ConcatCols height mismatch";
+  Tensor out(left.rows(), left.cols() + right.cols());
+  for (int64_t i = 0; i < left.rows(); ++i) {
+    std::copy(left.RowData(i), left.RowData(i) + left.cols(), out.RowData(i));
+    std::copy(right.RowData(i), right.RowData(i) + right.cols(),
+              out.RowData(i) + left.cols());
+  }
+  return out;
+}
+
+Tensor SliceRows(const Tensor& a, int64_t begin, int64_t end) {
+  MCOND_CHECK(begin >= 0 && begin <= end && end <= a.rows())
+      << "SliceRows [" << begin << "," << end << ") of " << a.rows();
+  Tensor out(end - begin, a.cols());
+  std::copy(a.RowData(begin), a.RowData(begin) + out.size(), out.data());
+  return out;
+}
+
+Tensor GatherRows(const Tensor& a, const std::vector<int64_t>& indices) {
+  Tensor out(static_cast<int64_t>(indices.size()), a.cols());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const int64_t src = indices[i];
+    MCOND_CHECK(src >= 0 && src < a.rows()) << "GatherRows index " << src;
+    std::copy(a.RowData(src), a.RowData(src) + a.cols(),
+              out.RowData(static_cast<int64_t>(i)));
+  }
+  return out;
+}
+
+void ScatterRowsInPlace(Tensor& dst, int64_t begin, const Tensor& src) {
+  MCOND_CHECK_EQ(dst.cols(), src.cols());
+  MCOND_CHECK_LE(begin + src.rows(), dst.rows());
+  std::copy(src.data(), src.data() + src.size(), dst.RowData(begin));
+}
+
+float MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  MCOND_CHECK(a.SameShape(b)) << "MaxAbsDiff shape mismatch";
+  float mx = 0.0f;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < a.size(); ++i) {
+    mx = std::max(mx, std::fabs(pa[i] - pb[i]));
+  }
+  return mx;
+}
+
+bool AllClose(const Tensor& a, const Tensor& b, float rtol, float atol) {
+  if (!a.SameShape(b)) return false;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < a.size(); ++i) {
+    if (std::fabs(pa[i] - pb[i]) > atol + rtol * std::fabs(pb[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mcond

@@ -1,0 +1,194 @@
+#include "coreset/coreset.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "condense/class_distribution.h"
+#include "core/tensor_ops.h"
+
+namespace mcond {
+
+namespace {
+
+/// Squared Euclidean distance between two embedding rows.
+float SquaredDistance(const Tensor& e, int64_t a, int64_t b) {
+  const float* pa = e.RowData(a);
+  const float* pb = e.RowData(b);
+  float acc = 0.0f;
+  for (int64_t j = 0; j < e.cols(); ++j) {
+    const float d = pa[j] - pb[j];
+    acc += d * d;
+  }
+  return acc;
+}
+
+Tensor ClassMean(const Tensor& e, const std::vector<int64_t>& members) {
+  Tensor mean(1, e.cols());
+  for (int64_t i : members) {
+    AxpyInPlace(mean, 1.0f / static_cast<float>(members.size()),
+                GatherRows(e, {i}));
+  }
+  return mean;
+}
+
+/// Kernel herding: greedily pick points so the running selection mean
+/// approaches the class mean.
+std::vector<int64_t> HerdClass(const Tensor& e,
+                               const std::vector<int64_t>& members,
+                               int64_t k) {
+  const Tensor mean = ClassMean(e, members);
+  Tensor w = mean;  // Herding weight vector.
+  std::vector<bool> taken(members.size(), false);
+  std::vector<int64_t> out;
+  for (int64_t pick = 0; pick < k; ++pick) {
+    int64_t best = -1;
+    float best_score = -std::numeric_limits<float>::infinity();
+    for (size_t m = 0; m < members.size(); ++m) {
+      if (taken[m]) continue;
+      const float* row = e.RowData(members[m]);
+      float score = 0.0f;
+      for (int64_t j = 0; j < e.cols(); ++j) score += w.At(0, j) * row[j];
+      if (score > best_score) {
+        best_score = score;
+        best = static_cast<int64_t>(m);
+      }
+    }
+    if (best < 0) break;
+    taken[static_cast<size_t>(best)] = true;
+    out.push_back(members[static_cast<size_t>(best)]);
+    const float* picked = e.RowData(members[static_cast<size_t>(best)]);
+    for (int64_t j = 0; j < e.cols(); ++j) {
+      w.At(0, j) += mean.At(0, j) - picked[j];
+    }
+  }
+  return out;
+}
+
+/// Greedy k-center: repeatedly take the point farthest from the current
+/// centers, seeded by the point closest to the class mean.
+std::vector<int64_t> KCenterClass(const Tensor& e,
+                                  const std::vector<int64_t>& members,
+                                  int64_t k) {
+  const Tensor mean = ClassMean(e, members);
+  int64_t seed = members[0];
+  float best = std::numeric_limits<float>::infinity();
+  for (int64_t i : members) {
+    const float* row = e.RowData(i);
+    float d = 0.0f;
+    for (int64_t j = 0; j < e.cols(); ++j) {
+      const float diff = row[j] - mean.At(0, j);
+      d += diff * diff;
+    }
+    if (d < best) {
+      best = d;
+      seed = i;
+    }
+  }
+  std::vector<int64_t> out{seed};
+  std::vector<float> min_dist(members.size(),
+                              std::numeric_limits<float>::infinity());
+  while (static_cast<int64_t>(out.size()) < k) {
+    int64_t farthest = -1;
+    float far_dist = -1.0f;
+    for (size_t m = 0; m < members.size(); ++m) {
+      min_dist[m] =
+          std::min(min_dist[m], SquaredDistance(e, members[m], out.back()));
+      if (min_dist[m] > far_dist &&
+          std::find(out.begin(), out.end(), members[m]) == out.end()) {
+        far_dist = min_dist[m];
+        farthest = members[m];
+      }
+    }
+    if (farthest < 0) break;
+    out.push_back(farthest);
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* CoresetMethodName(CoresetMethod method) {
+  switch (method) {
+    case CoresetMethod::kRandom:
+      return "Random";
+    case CoresetMethod::kDegree:
+      return "Degree";
+    case CoresetMethod::kHerding:
+      return "Herding";
+    case CoresetMethod::kKCenter:
+      return "K-Center";
+  }
+  return "?";
+}
+
+std::vector<int64_t> SelectCoreset(CoresetMethod method, const Graph& original,
+                                   const Tensor& embeddings,
+                                   int64_t num_select, Rng& rng) {
+  MCOND_CHECK_EQ(embeddings.rows(), original.NumNodes());
+  const std::vector<int64_t> alloc_labels =
+      AllocateSyntheticLabels(original, num_select);
+  std::vector<int64_t> per_class(static_cast<size_t>(original.num_classes()),
+                                 0);
+  for (int64_t y : alloc_labels) ++per_class[static_cast<size_t>(y)];
+
+  std::vector<std::vector<int64_t>> members(
+      static_cast<size_t>(original.num_classes()));
+  for (int64_t i = 0; i < original.NumNodes(); ++i) {
+    const int64_t y = original.labels()[static_cast<size_t>(i)];
+    if (y >= 0) members[static_cast<size_t>(y)].push_back(i);
+  }
+
+  std::vector<int64_t> selected;
+  for (int64_t c = 0; c < original.num_classes(); ++c) {
+    auto& pool = members[static_cast<size_t>(c)];
+    const int64_t k = std::min<int64_t>(per_class[static_cast<size_t>(c)],
+                                        static_cast<int64_t>(pool.size()));
+    if (k == 0) continue;
+    switch (method) {
+      case CoresetMethod::kRandom: {
+        rng.Shuffle(pool);
+        selected.insert(selected.end(), pool.begin(), pool.begin() + k);
+        break;
+      }
+      case CoresetMethod::kDegree: {
+        std::vector<std::pair<int64_t, int64_t>> deg;  // (-degree, node).
+        for (int64_t i : pool) deg.push_back({-original.adjacency().RowNnz(i), i});
+        std::sort(deg.begin(), deg.end());
+        for (int64_t j = 0; j < k; ++j) {
+          selected.push_back(deg[static_cast<size_t>(j)].second);
+        }
+        break;
+      }
+      case CoresetMethod::kHerding: {
+        const std::vector<int64_t> picks = HerdClass(embeddings, pool, k);
+        selected.insert(selected.end(), picks.begin(), picks.end());
+        break;
+      }
+      case CoresetMethod::kKCenter: {
+        const std::vector<int64_t> picks = KCenterClass(embeddings, pool, k);
+        selected.insert(selected.end(), picks.begin(), picks.end());
+        break;
+      }
+    }
+  }
+  std::sort(selected.begin(), selected.end());
+  return selected;
+}
+
+CondensedGraph BuildCoresetGraph(const Graph& original,
+                                 const std::vector<int64_t>& selected) {
+  CondensedGraph out;
+  out.graph = InducedSubgraph(original, selected);
+  std::vector<Triplet> indicator;
+  indicator.reserve(selected.size());
+  for (size_t j = 0; j < selected.size(); ++j) {
+    indicator.push_back({selected[j], static_cast<int64_t>(j), 1.0f});
+  }
+  out.mapping = CsrMatrix::FromTriplets(
+      original.NumNodes(), static_cast<int64_t>(selected.size()),
+      std::move(indicator));
+  return out;
+}
+
+}  // namespace mcond

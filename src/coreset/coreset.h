@@ -1,0 +1,43 @@
+#ifndef MCOND_CORESET_CORESET_H_
+#define MCOND_CORESET_CORESET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "condense/condensed.h"
+#include "core/rng.h"
+#include "core/tensor.h"
+#include "graph/graph.h"
+
+namespace mcond {
+
+/// The four coreset baselines of §IV-A.
+enum class CoresetMethod {
+  kRandom,   // Uniform per-class sampling.
+  kDegree,   // Highest-degree nodes per class.
+  kHerding,  // Kernel herding toward the class mean (Welling, 2009).
+  kKCenter,  // Greedy k-center (Sener & Savarese, 2018).
+};
+
+const char* CoresetMethodName(CoresetMethod method);
+
+/// Selects `num_select` labeled nodes with per-class counts proportional to
+/// the class distribution (same allocation rule as the synthetic labels, so
+/// all methods in Table II compare at identical reduced sizes). Herding and
+/// K-Center operate on `embeddings` (one row per node — the paper uses the
+/// GNN's latent embeddings; callers typically pass SGC-propagated features).
+std::vector<int64_t> SelectCoreset(CoresetMethod method, const Graph& original,
+                                   const Tensor& embeddings,
+                                   int64_t num_select, Rng& rng);
+
+/// Packages a selection as a reduction artifact: the induced subgraph on
+/// the selected nodes plus the 0/1 indicator mapping (selected original
+/// node i ↦ its subgraph copy), so inductive nodes keep their edges to any
+/// selected neighbor and drop the rest.
+CondensedGraph BuildCoresetGraph(const Graph& original,
+                                 const std::vector<int64_t>& selected);
+
+}  // namespace mcond
+
+#endif  // MCOND_CORESET_CORESET_H_

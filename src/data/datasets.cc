@@ -1,0 +1,167 @@
+#include "data/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mcond {
+
+namespace {
+
+std::vector<DatasetSpec> BuildSpecs() {
+  std::vector<DatasetSpec> specs;
+
+  // Pubmed stand-in: small citation network, 3 classes, sparse labels
+  // (the paper's r grid {0.16%, 0.32%} is 50%/100% of the label budget; we
+  // keep that coupling: ratios give N' ≈ half of / all of the labels).
+  {
+    DatasetSpec s;
+    s.name = "pubmed-sim";
+    s.sbm.num_nodes = 2000;
+    s.sbm.num_classes = 3;
+    s.sbm.feature_dim = 64;
+    s.sbm.avg_degree = 4.5;           // Pubmed is sparse (avg deg ≈ 4.5).
+    s.sbm.homophily = 0.62;
+    s.sbm.feature_noise = 4.0;
+    s.sbm.label_noise = 0.12;         // Calibrated: Whole ≈ 78% (paper 79%).
+    s.sbm.label_rate = 0.04;          // ≈ 60 labels on the training graph.
+    s.sbm.class_imbalance = 0.2;
+    s.val_fraction = 0.12;
+    s.test_fraction = 0.12;
+    s.reduction_ratios = {0.016, 0.032};
+    s.condensation_epochs = 240;
+    specs.push_back(s);
+  }
+
+  // Flickr stand-in: weak homophily and noisy features — absolute accuracy
+  // sits around 50% in the paper; 7 classes, fully labeled training set.
+  {
+    DatasetSpec s;
+    s.name = "flickr-sim";
+    s.sbm.num_nodes = 3000;
+    s.sbm.num_classes = 7;
+    s.sbm.feature_dim = 64;
+    s.sbm.avg_degree = 10.0;          // Flickr is ~2× denser than Pubmed.
+    s.sbm.homophily = 0.35;
+    s.sbm.feature_noise = 9.0;        // Calibrated: Whole ≈ 49% (paper 51%).
+    s.sbm.label_rate = 1.0;
+    s.sbm.class_imbalance = 0.3;
+    s.val_fraction = 0.12;
+    s.test_fraction = 0.12;
+    s.reduction_ratios = {0.01, 0.05};
+    s.condensation_epochs = 280;
+    specs.push_back(s);
+  }
+
+  // Reddit stand-in: the large, dense, strongly homophilous social network
+  // where the paper's headline 121.5× speedup appears. Density relative to
+  // the others (~10× Pubmed) is the load-bearing property.
+  {
+    DatasetSpec s;
+    s.name = "reddit-sim";
+    s.sbm.num_nodes = 6000;
+    s.sbm.num_classes = 20;
+    s.sbm.feature_dim = 96;
+    s.sbm.avg_degree = 40.0;
+    s.sbm.homophily = 0.8;
+    s.sbm.feature_noise = 5.5;        // Calibrated: Whole ≈ 94% (paper 94%).
+    s.sbm.label_noise = 0.06;
+    s.sbm.label_rate = 1.0;
+    s.sbm.class_imbalance = 0.6;      // Skewed class sizes (paper Fig. 5).
+    s.val_fraction = 0.10;
+    s.test_fraction = 0.10;
+    s.reduction_ratios = {0.005, 0.02};
+    s.condensation_epochs = 280;
+    specs.push_back(s);
+  }
+
+  // Tiny configuration for unit/integration tests; not part of the paper.
+  {
+    DatasetSpec s;
+    s.name = "tiny-sim";
+    s.sbm.num_nodes = 300;
+    s.sbm.num_classes = 3;
+    s.sbm.feature_dim = 16;
+    s.sbm.avg_degree = 6.0;
+    s.sbm.homophily = 0.85;
+    s.sbm.feature_noise = 0.8;
+    s.sbm.label_rate = 1.0;
+    s.val_fraction = 0.15;
+    s.test_fraction = 0.15;
+    s.reduction_ratios = {0.05};
+    s.condensation_epochs = 30;
+    specs.push_back(s);
+  }
+
+  return specs;
+}
+
+}  // namespace
+
+const std::vector<DatasetSpec>& AllDatasetSpecs() {
+  static const std::vector<DatasetSpec>& specs =
+      *new std::vector<DatasetSpec>(BuildSpecs());
+  return specs;
+}
+
+StatusOr<DatasetSpec> FindDatasetSpec(const std::string& name) {
+  for (const DatasetSpec& s : AllDatasetSpecs()) {
+    if (s.name == name) return s;
+  }
+  return Status::NotFound("no dataset spec named " + name);
+}
+
+InductiveDataset MakeDataset(const DatasetSpec& spec, uint64_t seed) {
+  Rng rng(seed);
+  // Label sparsity is a *training* constraint: held-out nodes always keep
+  // their labels so the benchmark can grade predictions. Generate fully
+  // labeled, split, then mask the training graph down to the label rate.
+  SbmConfig sbm = spec.sbm;
+  const double label_rate = sbm.label_rate;
+  sbm.label_rate = 1.0;
+  Graph full = GenerateSbmGraph(sbm, rng);
+  InductiveDataset ds = MakeInductiveSplit(full, spec.val_fraction,
+                                           spec.test_fraction, rng, spec.name);
+  if (label_rate < 1.0) {
+    const Graph& t = ds.train_graph;
+    const int64_t n = t.NumNodes();
+    const int64_t keep = std::max<int64_t>(
+        t.num_classes(),
+        static_cast<int64_t>(label_rate * static_cast<double>(n)));
+    std::vector<int64_t> kept = rng.SampleWithoutReplacement(n, keep);
+    std::vector<int64_t> masked(static_cast<size_t>(n), -1);
+    for (int64_t i : kept) {
+      masked[static_cast<size_t>(i)] = t.labels()[static_cast<size_t>(i)];
+    }
+    // Guarantee at least one label per class (condensation allocates
+    // synthetic nodes per class).
+    std::vector<bool> seen(static_cast<size_t>(t.num_classes()), false);
+    for (int64_t i : kept) {
+      const int64_t y = masked[static_cast<size_t>(i)];
+      if (y >= 0) seen[static_cast<size_t>(y)] = true;
+    }
+    for (int64_t i = 0; i < n; ++i) {
+      const int64_t y = t.labels()[static_cast<size_t>(i)];
+      if (y >= 0 && !seen[static_cast<size_t>(y)]) {
+        masked[static_cast<size_t>(i)] = y;
+        seen[static_cast<size_t>(y)] = true;
+      }
+    }
+    ds.train_graph = Graph(t.adjacency(), t.features(), std::move(masked),
+                           t.num_classes());
+  }
+  return ds;
+}
+
+InductiveDataset MakeDatasetByName(const std::string& name, uint64_t seed) {
+  StatusOr<DatasetSpec> spec = FindDatasetSpec(name);
+  MCOND_CHECK(spec.ok()) << spec.status().ToString();
+  return MakeDataset(spec.value(), seed);
+}
+
+int64_t SyntheticNodeCount(const Graph& train_graph, double ratio) {
+  const int64_t n =
+      static_cast<int64_t>(std::llround(ratio * train_graph.NumNodes()));
+  return std::max(train_graph.num_classes(), n);
+}
+
+}  // namespace mcond

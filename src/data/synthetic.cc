@@ -1,0 +1,177 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+
+#include "core/tensor_ops.h"
+
+namespace mcond {
+
+namespace {
+
+/// Samples an index from a cumulative weight array via binary search.
+int64_t SampleFromCumulative(const std::vector<double>& cumulative, Rng& rng) {
+  const double u = rng.Uniform(0.0f, 1.0f) * cumulative.back();
+  const auto it =
+      std::upper_bound(cumulative.begin(), cumulative.end(), u);
+  return std::min<int64_t>(
+      static_cast<int64_t>(it - cumulative.begin()),
+      static_cast<int64_t>(cumulative.size()) - 1);
+}
+
+}  // namespace
+
+Graph GenerateSbmGraph(const SbmConfig& config, Rng& rng) {
+  const int64_t n = config.num_nodes;
+  const int64_t c = config.num_classes;
+  const int64_t d = config.feature_dim;
+  MCOND_CHECK_GT(n, 0);
+  MCOND_CHECK_GT(c, 0);
+  MCOND_CHECK_GT(d, 0);
+  MCOND_CHECK(config.homophily >= 0.0 && config.homophily <= 1.0);
+
+  // --- Class assignment with optional power-law imbalance. ---
+  std::vector<double> class_cum(static_cast<size_t>(c));
+  double acc = 0.0;
+  for (int64_t k = 0; k < c; ++k) {
+    acc += std::pow(static_cast<double>(k + 1), -config.class_imbalance);
+    class_cum[static_cast<size_t>(k)] = acc;
+  }
+  std::vector<int64_t> truth(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    truth[static_cast<size_t>(i)] = SampleFromCumulative(class_cum, rng);
+  }
+  // Guarantee every class is populated (needed for per-class condensation).
+  for (int64_t k = 0; k < c; ++k) {
+    truth[static_cast<size_t>(rng.RandInt(0, n - 1))] = k;
+  }
+
+  // --- Degree-corrected block structure. ---
+  std::vector<double> propensity(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    propensity[static_cast<size_t>(i)] =
+        std::exp(rng.Normal(0.0f, static_cast<float>(config.degree_sigma)));
+  }
+  // Per-class member lists with cumulative propensities, plus a global one.
+  std::vector<std::vector<int64_t>> members(static_cast<size_t>(c));
+  for (int64_t i = 0; i < n; ++i) {
+    members[static_cast<size_t>(truth[static_cast<size_t>(i)])].push_back(i);
+  }
+  std::vector<std::vector<double>> member_cum(static_cast<size_t>(c));
+  for (int64_t k = 0; k < c; ++k) {
+    double s = 0.0;
+    for (int64_t i : members[static_cast<size_t>(k)]) {
+      s += propensity[static_cast<size_t>(i)];
+      member_cum[static_cast<size_t>(k)].push_back(s);
+    }
+  }
+  std::vector<double> global_cum(static_cast<size_t>(n));
+  double gs = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    gs += propensity[static_cast<size_t>(i)];
+    global_cum[static_cast<size_t>(i)] = gs;
+  }
+
+  const int64_t target_edges =
+      static_cast<int64_t>(config.avg_degree * static_cast<double>(n) / 2.0);
+  std::set<std::pair<int64_t, int64_t>> edges;
+  int64_t attempts = 0;
+  const int64_t max_attempts = 30 * std::max<int64_t>(target_edges, 1);
+  while (static_cast<int64_t>(edges.size()) < target_edges &&
+         attempts < max_attempts) {
+    ++attempts;
+    int64_t u, v;
+    if (rng.Bernoulli(config.homophily)) {
+      // Intra-class edge: class chosen proportional to total propensity so
+      // big classes get proportionally more internal edges.
+      std::vector<double> class_mass(static_cast<size_t>(c));
+      // (Cheap: c is small; cumulative of per-class totals.)
+      double cm = 0.0;
+      for (int64_t k = 0; k < c; ++k) {
+        cm += member_cum[static_cast<size_t>(k)].empty()
+                  ? 0.0
+                  : member_cum[static_cast<size_t>(k)].back();
+        class_mass[static_cast<size_t>(k)] = cm;
+      }
+      const int64_t k = SampleFromCumulative(class_mass, rng);
+      const auto& mem = members[static_cast<size_t>(k)];
+      if (mem.size() < 2) continue;
+      u = mem[static_cast<size_t>(
+          SampleFromCumulative(member_cum[static_cast<size_t>(k)], rng))];
+      v = mem[static_cast<size_t>(
+          SampleFromCumulative(member_cum[static_cast<size_t>(k)], rng))];
+    } else {
+      u = SampleFromCumulative(global_cum, rng);
+      v = SampleFromCumulative(global_cum, rng);
+    }
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    edges.insert({u, v});
+  }
+
+  std::vector<Triplet> triplets;
+  triplets.reserve(edges.size() * 2);
+  for (const auto& [u, v] : edges) {
+    triplets.push_back({u, v, 1.0f});
+    triplets.push_back({v, u, 1.0f});
+  }
+  CsrMatrix adjacency = CsrMatrix::FromTriplets(n, n, std::move(triplets));
+
+  // --- Class-conditional Gaussian features. ---
+  // Centroids are unit-ish Gaussian directions; noise scales relative to
+  // them, so `feature_noise` directly controls class separability.
+  Tensor centroids = rng.NormalTensor(c, d, 0.0f,
+                                      1.0f / std::sqrt(static_cast<float>(d)));
+  Tensor features(n, d);
+  const float noise =
+      static_cast<float>(config.feature_noise) /
+      std::sqrt(static_cast<float>(d));
+  for (int64_t i = 0; i < n; ++i) {
+    const float* mu = centroids.RowData(truth[static_cast<size_t>(i)]);
+    float* row = features.RowData(i);
+    for (int64_t j = 0; j < d; ++j) {
+      row[j] = mu[j] + rng.Normal(0.0f, noise);
+    }
+  }
+
+  // --- Label noise: flip a fraction of labels to a random class. The flip
+  // happens before masking, so training and evaluation both see the noisy
+  // labels (an irreducible error floor). ---
+  std::vector<int64_t> labels = truth;
+  if (config.label_noise > 0.0) {
+    for (int64_t i = 0; i < n; ++i) {
+      if (rng.Bernoulli(config.label_noise)) {
+        labels[static_cast<size_t>(i)] = rng.RandInt(0, c - 1);
+      }
+    }
+  }
+  if (config.label_rate < 1.0) {
+    const int64_t keep = std::max<int64_t>(
+        c, static_cast<int64_t>(config.label_rate * static_cast<double>(n)));
+    std::vector<int64_t> kept = rng.SampleWithoutReplacement(n, keep);
+    std::vector<bool> is_kept(static_cast<size_t>(n), false);
+    for (int64_t i : kept) is_kept[static_cast<size_t>(i)] = true;
+    // Make sure every class keeps at least one label.
+    std::vector<bool> class_seen(static_cast<size_t>(c), false);
+    for (int64_t i : kept) {
+      class_seen[static_cast<size_t>(truth[static_cast<size_t>(i)])] = true;
+    }
+    for (int64_t k = 0; k < c; ++k) {
+      if (!class_seen[static_cast<size_t>(k)] &&
+          !members[static_cast<size_t>(k)].empty()) {
+        is_kept[static_cast<size_t>(
+            members[static_cast<size_t>(k)][0])] = true;
+      }
+    }
+    for (int64_t i = 0; i < n; ++i) {
+      if (!is_kept[static_cast<size_t>(i)]) labels[static_cast<size_t>(i)] = -1;
+    }
+  }
+
+  return Graph(std::move(adjacency), std::move(features), std::move(labels),
+               c);
+}
+
+}  // namespace mcond

@@ -1,0 +1,57 @@
+#ifndef MCOND_DATA_SYNTHETIC_H_
+#define MCOND_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/rng.h"
+#include "graph/graph.h"
+
+namespace mcond {
+
+/// Parameters of the degree-corrected stochastic block model + Gaussian
+/// feature generator that stands in for the paper's real datasets (see
+/// DESIGN.md §3, substitution 1). Knobs map to the dataset statistics that
+/// drive the paper's phenomena:
+///   - homophily ↔ how much signal the graph structure carries (GNN
+///     accuracy headroom over an MLP);
+///   - avg_degree ↔ graph density, the source of the original-graph
+///     inference cost that MCond removes;
+///   - feature_noise ↔ how separable classes are from features alone;
+///   - label_rate ↔ Pubmed's sparse-label regime vs fully labeled
+///     Flickr/Reddit training sets;
+///   - class_imbalance ↔ the skewed class-size distribution visualized in
+///     the paper's Fig. 5 (Reddit).
+struct SbmConfig {
+  int64_t num_nodes = 1000;
+  int64_t num_classes = 4;
+  int64_t feature_dim = 32;
+  /// Expected mean (undirected) degree.
+  double avg_degree = 8.0;
+  /// Probability that an edge endpoint pair is drawn within one class.
+  double homophily = 0.8;
+  /// Stddev of per-node Gaussian noise around the class centroid, relative
+  /// to centroid norm ~1.
+  double feature_noise = 1.0;
+  /// Fraction of nodes that keep their label (others get -1).
+  double label_rate = 1.0;
+  /// Class-size skew: class k has weight (k+1)^(-class_imbalance).
+  /// 0 = balanced classes.
+  double class_imbalance = 0.0;
+  /// Lognormal sigma of per-node degree propensities (0 = uniform).
+  double degree_sigma = 0.75;
+  /// Fraction of nodes whose label is resampled uniformly — irreducible
+  /// (Bayes) error that keeps accuracies off the 100% ceiling, mirroring
+  /// the real datasets' intrinsic difficulty.
+  double label_noise = 0.0;
+};
+
+/// Generates an undirected attributed graph from `config`. The adjacency is
+/// symmetric with unit edge weights and no self-loops; every node has a
+/// ground-truth class, but only a `label_rate` fraction expose it via
+/// labels() (the rest are -1, mirroring semi-supervised label sparsity).
+Graph GenerateSbmGraph(const SbmConfig& config, Rng& rng);
+
+}  // namespace mcond
+
+#endif  // MCOND_DATA_SYNTHETIC_H_

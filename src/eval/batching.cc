@@ -1,0 +1,65 @@
+#include "eval/batching.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "core/tensor_ops.h"
+
+namespace mcond {
+
+HeldOutBatch SubsetBatch(const HeldOutBatch& all,
+                         const std::vector<int64_t>& indices) {
+  std::unordered_map<int64_t, int64_t> local;
+  local.reserve(indices.size());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    MCOND_CHECK(indices[i] >= 0 && indices[i] < all.size())
+        << "batch index " << indices[i];
+    const bool inserted =
+        local.emplace(indices[i], static_cast<int64_t>(i)).second;
+    MCOND_CHECK(inserted) << "duplicate batch index " << indices[i];
+  }
+  const int64_t n = static_cast<int64_t>(indices.size());
+  HeldOutBatch out;
+  out.features = GatherRows(all.features, indices);
+  out.labels.resize(static_cast<size_t>(n));
+  std::vector<Triplet> links;
+  std::vector<Triplet> inter;
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t src = indices[static_cast<size_t>(i)];
+    out.labels[static_cast<size_t>(i)] =
+        all.labels[static_cast<size_t>(src)];
+    for (int64_t k = all.links.row_ptr()[static_cast<size_t>(src)];
+         k < all.links.row_ptr()[static_cast<size_t>(src) + 1]; ++k) {
+      links.push_back({i, all.links.col_idx()[static_cast<size_t>(k)],
+                       all.links.values()[static_cast<size_t>(k)]});
+    }
+    for (int64_t k = all.inter.row_ptr()[static_cast<size_t>(src)];
+         k < all.inter.row_ptr()[static_cast<size_t>(src) + 1]; ++k) {
+      const auto it =
+          local.find(all.inter.col_idx()[static_cast<size_t>(k)]);
+      if (it != local.end()) {
+        inter.push_back({i, it->second,
+                         all.inter.values()[static_cast<size_t>(k)]});
+      }
+    }
+  }
+  out.links = CsrMatrix::FromTriplets(n, all.links.cols(), std::move(links));
+  out.inter = CsrMatrix::FromTriplets(n, n, std::move(inter));
+  return out;
+}
+
+std::vector<HeldOutBatch> SplitIntoBatches(const HeldOutBatch& all,
+                                           int64_t batch_size) {
+  MCOND_CHECK_GT(batch_size, 0);
+  std::vector<HeldOutBatch> out;
+  for (int64_t begin = 0; begin < all.size(); begin += batch_size) {
+    const int64_t end = std::min<int64_t>(all.size(), begin + batch_size);
+    std::vector<int64_t> indices(static_cast<size_t>(end - begin));
+    std::iota(indices.begin(), indices.end(), begin);
+    out.push_back(SubsetBatch(all, indices));
+  }
+  return out;
+}
+
+}  // namespace mcond

@@ -1,0 +1,26 @@
+#ifndef MCOND_EVAL_BATCHING_H_
+#define MCOND_EVAL_BATCHING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/inductive.h"
+
+namespace mcond {
+
+/// Splits a held-out batch into consecutive mini-batches of at most
+/// `batch_size` nodes, restricting the incremental links to each chunk.
+/// Inter-batch edges among held-out nodes are dropped (chunks are served
+/// independently — the node-batch regime of §IV-A); edges *within* a chunk
+/// are kept so graph-batch serving still works per chunk.
+std::vector<HeldOutBatch> SplitIntoBatches(const HeldOutBatch& all,
+                                           int64_t batch_size);
+
+/// Gathers an arbitrary subset of a held-out batch (by index) into a new
+/// batch, keeping links and intra-subset edges.
+HeldOutBatch SubsetBatch(const HeldOutBatch& all,
+                         const std::vector<int64_t>& indices);
+
+}  // namespace mcond
+
+#endif  // MCOND_EVAL_BATCHING_H_

@@ -1,0 +1,84 @@
+#include "eval/experiment.h"
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/logging.h"
+
+namespace mcond {
+
+ResultTable::ResultTable(std::vector<std::string> headers,
+                         int64_t column_width)
+    : headers_(std::move(headers)), column_width_(column_width) {}
+
+void ResultTable::AddRow(std::vector<std::string> cells) {
+  MCOND_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+namespace {
+
+void PrintCell(const std::string& s, int64_t width) {
+  std::string out = s;
+  if (static_cast<int64_t>(out.size()) > width - 1) {
+    out = out.substr(0, static_cast<size_t>(width - 1));
+  }
+  std::cout << out;
+  for (int64_t i = static_cast<int64_t>(out.size()); i < width; ++i) {
+    std::cout << ' ';
+  }
+}
+
+}  // namespace
+
+void ResultTable::Print() const {
+  for (const std::string& h : headers_) PrintCell(h, column_width_);
+  std::cout << "\n";
+  for (size_t i = 0; i < headers_.size() * static_cast<size_t>(column_width_);
+       ++i) {
+    std::cout << '-';
+  }
+  std::cout << "\n";
+  for (const auto& row : rows_) {
+    for (const std::string& c : row) PrintCell(c, column_width_);
+    std::cout << "\n";
+  }
+  std::cout.flush();
+}
+
+std::string FormatAccuracy(const MeanStd& stats) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f±%.2f", stats.mean * 100.0,
+                stats.std * 100.0);
+  return buf;
+}
+
+std::string FormatMillis(double seconds) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f", seconds * 1000.0);
+  return buf;
+}
+
+std::string FormatBytes(double bytes) {
+  char buf[64];
+  if (bytes >= 1024.0 * 1024.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fMB", bytes / (1024.0 * 1024.0));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fKB", bytes / 1024.0);
+  }
+  return buf;
+}
+
+std::string FormatRatio(double ratio) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1fx", ratio);
+  return buf;
+}
+
+std::string FormatFloat(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+}  // namespace mcond

@@ -1,0 +1,46 @@
+#ifndef MCOND_EVAL_EXPERIMENT_H_
+#define MCOND_EVAL_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/metrics.h"
+
+namespace mcond {
+
+/// Fixed-width console table used by the bench binaries to print
+/// paper-style result tables.
+class ResultTable {
+ public:
+  explicit ResultTable(std::vector<std::string> headers,
+                       int64_t column_width = 14);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders to stdout with a separator under the header.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  int64_t column_width_;
+};
+
+/// "78.40±0.12" from accuracies in [0,1].
+std::string FormatAccuracy(const MeanStd& stats);
+
+/// "12.34" milliseconds from seconds.
+std::string FormatMillis(double seconds);
+
+/// "1.23 MB" / "45.6 KB" from bytes.
+std::string FormatBytes(double bytes);
+
+/// "12.3x" ratio.
+std::string FormatRatio(double ratio);
+
+/// Generic fixed-precision float.
+std::string FormatFloat(double value, int precision = 2);
+
+}  // namespace mcond
+
+#endif  // MCOND_EVAL_EXPERIMENT_H_

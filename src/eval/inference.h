@@ -1,0 +1,73 @@
+#ifndef MCOND_EVAL_INFERENCE_H_
+#define MCOND_EVAL_INFERENCE_H_
+
+#include <cstdint>
+
+#include "condense/condensed.h"
+#include "graph/inductive.h"
+#include "nn/module.h"
+
+namespace mcond {
+
+/// Outcome of serving one batch of inductive nodes.
+struct InferenceResult {
+  /// n×C logits for the batch (rows align with batch features).
+  Tensor logits;
+  /// Mean wall-clock seconds per serve, over `repeats` runs. Includes the
+  /// whole serving path: link conversion (aM), block composition,
+  /// normalization, and the GNN forward pass.
+  double seconds = 0.0;
+  /// The paper's memory model (§II-B): CSR bytes of the composed adjacency
+  /// + (N+n)·d feature floats (+ mapping bytes when one is used).
+  int64_t memory_bytes = 0;
+  /// Accuracy against the batch labels (filled by the Serve* helpers).
+  double accuracy = 0.0;
+  /// The composed normalized adjacency and feature matrix, kept so callers
+  /// (LP/EP calibration) can run propagation on the same deployed graph.
+  CsrMatrix composed_norm_adj;
+  Tensor composed_features;
+};
+
+/// A fully composed deployed graph (base + attached batch), exposed for
+/// workloads that need more than one forward pass over the same deployment
+/// — the LP/EP calibration of §IV-D runs propagation on exactly this
+/// structure.
+struct Deployment {
+  /// Composed raw adjacency (Eq. 3 or Eq. 11).
+  CsrMatrix adjacency;
+  GraphOperators operators;
+  /// Stacked features [base; batch].
+  Tensor features;
+  /// Labels for all composed nodes: base labels followed by -1 for every
+  /// batch node (their labels are never visible to calibration).
+  std::vector<int64_t> known_labels;
+  int64_t num_base = 0;
+  int64_t batch_size = 0;
+};
+
+/// Composes the original-graph deployment of Eq. (3).
+Deployment ComposeDeployment(const Graph& base, const HeldOutBatch& batch,
+                             bool graph_batch);
+
+/// Composes the synthetic-graph deployment of Eq. (11): links are converted
+/// through the mapping (aM) first.
+Deployment ComposeDeployment(const CondensedGraph& condensed,
+                             const HeldOutBatch& batch, bool graph_batch);
+
+/// Serves `batch` by attaching it to the original graph (Eq. 3) — the
+/// "Whole"/·→O path.
+InferenceResult ServeOnOriginal(GnnModel& model, const Graph& original,
+                                const HeldOutBatch& batch, bool graph_batch,
+                                Rng& rng, int64_t repeats = 3);
+
+/// Serves `batch` by converting its links through the mapping and attaching
+/// it to the condensed graph (Eq. 11) — the ·→S path. The condensed
+/// artifact must carry a non-empty mapping.
+InferenceResult ServeOnCondensed(GnnModel& model,
+                                 const CondensedGraph& condensed,
+                                 const HeldOutBatch& batch, bool graph_batch,
+                                 Rng& rng, int64_t repeats = 3);
+
+}  // namespace mcond
+
+#endif  // MCOND_EVAL_INFERENCE_H_

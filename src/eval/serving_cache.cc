@@ -1,0 +1,95 @@
+#include "eval/serving_cache.h"
+
+#include <cmath>
+
+#include "core/tensor_ops.h"
+#include "eval/inference.h"
+#include "graph/graph.h"
+
+namespace mcond {
+
+SgcServingCache::SgcServingCache(const CondensedGraph& condensed, Sgc& model)
+    : condensed_(condensed), model_(model) {
+  MCOND_CHECK_EQ(model.propagation_depth(), 2)
+      << "incremental serving supports the paper's 2-layer SGC only";
+  MCOND_CHECK_GT(condensed.mapping.Nnz(), 0)
+      << "condensed artifact has no mapping";
+  const Graph& base = condensed_.graph;
+  base_degree_ = AddSelfLoops(base.adjacency()).RowSums();
+  base_z1_ = base.normalized_adjacency().SpMM(base.features());
+}
+
+Tensor SgcServingCache::Serve(const HeldOutBatch& batch, bool graph_batch,
+                              Rng& rng) {
+  (void)rng;  // SGC inference is deterministic; kept for API symmetry.
+  const HeldOutBatch used = graph_batch ? batch : batch.WithoutInterEdges();
+  const Graph& base = condensed_.graph;
+  const int64_t n = used.size();
+  const int64_t d = base.FeatureDim();
+
+  // Convert links through the mapping: a' = aM (n×N').
+  const CsrMatrix converted =
+      CsrMatrix::Multiply(used.links, condensed_.mapping);
+
+  // Batch degrees under Ã = composed + I (base degrees kept fixed — the
+  // incremental approximation).
+  std::vector<float> batch_degree(static_cast<size_t>(n), 1.0f);
+  {
+    const std::vector<float> link_sums = converted.RowSums();
+    const std::vector<float> inter_sums = used.inter.RowSums();
+    for (int64_t i = 0; i < n; ++i) {
+      batch_degree[static_cast<size_t>(i)] +=
+          link_sums[static_cast<size_t>(i)] +
+          inter_sums[static_cast<size_t>(i)];
+    }
+  }
+
+  // Normalized cross block Â_bs and batch block Â_bb (with self-loops).
+  std::vector<Triplet> bs;
+  bs.reserve(static_cast<size_t>(converted.Nnz()));
+  for (int64_t i = 0; i < n; ++i) {
+    const float di = 1.0f / std::sqrt(batch_degree[static_cast<size_t>(i)]);
+    for (int64_t k = converted.row_ptr()[static_cast<size_t>(i)];
+         k < converted.row_ptr()[static_cast<size_t>(i) + 1]; ++k) {
+      const int64_t j = converted.col_idx()[static_cast<size_t>(k)];
+      bs.push_back({i, j,
+                    converted.values()[static_cast<size_t>(k)] * di /
+                        std::sqrt(base_degree_[static_cast<size_t>(j)])});
+    }
+  }
+  const CsrMatrix a_bs =
+      CsrMatrix::FromTriplets(n, base.NumNodes(), std::move(bs));
+
+  std::vector<Triplet> bb;
+  for (int64_t i = 0; i < n; ++i) {
+    const float di = 1.0f / std::sqrt(batch_degree[static_cast<size_t>(i)]);
+    bb.push_back({i, i, di * di});  // Self-loop.
+    for (int64_t k = used.inter.row_ptr()[static_cast<size_t>(i)];
+         k < used.inter.row_ptr()[static_cast<size_t>(i) + 1]; ++k) {
+      const int64_t j = used.inter.col_idx()[static_cast<size_t>(k)];
+      bb.push_back({i, j,
+                    used.inter.values()[static_cast<size_t>(k)] * di /
+                        std::sqrt(batch_degree[static_cast<size_t>(j)])});
+    }
+  }
+  const CsrMatrix a_bb = CsrMatrix::FromTriplets(n, n, std::move(bb));
+
+  // Two-hop propagation touching only batch rows:
+  //   z_b = Â_bs z1_s + Â_bb (Â_bs x_s + Â_bb x_b),
+  // with z1_s = Â'_ss X' cached from the base graph.
+  MCOND_CHECK_EQ(used.features.cols(), d);
+  const Tensor one_hop_from_base = a_bs.SpMM(base.features());
+  Tensor one_hop = Add(one_hop_from_base, a_bb.SpMM(used.features));
+  Tensor z_b = Add(a_bs.SpMM(base_z1_), a_bb.SpMM(one_hop));
+
+  return model_.classifier().Forward(MakeConstant(z_b))->value();
+}
+
+Tensor SgcServingCache::ServeExact(const HeldOutBatch& batch,
+                                   bool graph_batch, Rng& rng) {
+  InferenceResult res = ServeOnCondensed(model_, condensed_, batch,
+                                         graph_batch, rng, /*repeats=*/1);
+  return res.logits;
+}
+
+}  // namespace mcond

@@ -1,0 +1,53 @@
+#include "graph/compose.h"
+
+#include "core/tensor_ops.h"
+
+namespace mcond {
+
+CsrMatrix ComposeBlockAdjacency(const CsrMatrix& base, const CsrMatrix& links,
+                                const CsrMatrix& inter) {
+  MCOND_CHECK_EQ(base.rows(), base.cols());
+  MCOND_CHECK_EQ(links.cols(), base.cols());
+  MCOND_CHECK_EQ(inter.rows(), links.rows());
+  MCOND_CHECK_EQ(inter.cols(), links.rows());
+  const int64_t big_n = base.rows();
+  const int64_t small_n = links.rows();
+  std::vector<Triplet> t;
+  t.reserve(static_cast<size_t>(base.Nnz() + 2 * links.Nnz() + inter.Nnz()));
+  // Top-left: base.
+  for (int64_t r = 0; r < big_n; ++r) {
+    for (int64_t k = base.row_ptr()[static_cast<size_t>(r)];
+         k < base.row_ptr()[static_cast<size_t>(r) + 1]; ++k) {
+      t.push_back({r, base.col_idx()[static_cast<size_t>(k)],
+                   base.values()[static_cast<size_t>(k)]});
+    }
+  }
+  // Bottom-left (links) and its transpose in the top-right.
+  for (int64_t r = 0; r < small_n; ++r) {
+    for (int64_t k = links.row_ptr()[static_cast<size_t>(r)];
+         k < links.row_ptr()[static_cast<size_t>(r) + 1]; ++k) {
+      const int64_t c = links.col_idx()[static_cast<size_t>(k)];
+      const float v = links.values()[static_cast<size_t>(k)];
+      t.push_back({big_n + r, c, v});
+      t.push_back({c, big_n + r, v});
+    }
+  }
+  // Bottom-right: inter-node edges of the batch.
+  for (int64_t r = 0; r < small_n; ++r) {
+    for (int64_t k = inter.row_ptr()[static_cast<size_t>(r)];
+         k < inter.row_ptr()[static_cast<size_t>(r) + 1]; ++k) {
+      t.push_back({big_n + r,
+                   big_n + inter.col_idx()[static_cast<size_t>(k)],
+                   inter.values()[static_cast<size_t>(k)]});
+    }
+  }
+  return CsrMatrix::FromTriplets(big_n + small_n, big_n + small_n,
+                                 std::move(t));
+}
+
+Tensor ComposeFeatures(const Tensor& base_features,
+                       const Tensor& incoming_features) {
+  return ConcatRows(base_features, incoming_features);
+}
+
+}  // namespace mcond

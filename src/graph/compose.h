@@ -1,0 +1,27 @@
+#ifndef MCOND_GRAPH_COMPOSE_H_
+#define MCOND_GRAPH_COMPOSE_H_
+
+#include "core/csr_matrix.h"
+#include "core/tensor.h"
+
+namespace mcond {
+
+/// Assembles the block adjacency of Eq. (3)/(11):
+///
+///   | base    linksᵀ |
+///   | links   inter  |
+///
+/// where `base` is N×N (original A or synthetic A'), `links` is n×N (the
+/// incremental adjacency a, or the converted aM), and `inter` is the n×n
+/// adjacency among the incoming nodes (the graph-batch ã; pass an empty
+/// n×n matrix for the node-batch setting).
+CsrMatrix ComposeBlockAdjacency(const CsrMatrix& base, const CsrMatrix& links,
+                                const CsrMatrix& inter);
+
+/// Stacks base features over incoming-node features: the 𝕏 of Eq. (3)/(11).
+Tensor ComposeFeatures(const Tensor& base_features,
+                       const Tensor& incoming_features);
+
+}  // namespace mcond
+
+#endif  // MCOND_GRAPH_COMPOSE_H_

@@ -1,0 +1,136 @@
+#include "graph/graph.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "core/tensor_ops.h"
+
+namespace mcond {
+
+CsrMatrix AddSelfLoops(const CsrMatrix& a, float weight) {
+  MCOND_CHECK_EQ(a.rows(), a.cols()) << "self-loops need a square matrix";
+  std::vector<Triplet> t;
+  t.reserve(static_cast<size_t>(a.Nnz() + a.rows()));
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    bool has_diag = false;
+    for (int64_t k = a.row_ptr()[static_cast<size_t>(r)];
+         k < a.row_ptr()[static_cast<size_t>(r) + 1]; ++k) {
+      const int64_t c = a.col_idx()[static_cast<size_t>(k)];
+      if (c == r) has_diag = true;
+      t.push_back({r, c, a.values()[static_cast<size_t>(k)]});
+    }
+    if (!has_diag) t.push_back({r, r, weight});
+  }
+  return CsrMatrix::FromTriplets(a.rows(), a.cols(), std::move(t));
+}
+
+CsrMatrix SymNormalize(const CsrMatrix& a, bool add_self_loops) {
+  const CsrMatrix tilde = add_self_loops ? AddSelfLoops(a) : a;
+  const std::vector<float> deg = tilde.RowSums();
+  std::vector<float> dinv_sqrt(deg.size());
+  for (size_t i = 0; i < deg.size(); ++i) {
+    dinv_sqrt[i] = deg[i] > 0.0f ? 1.0f / std::sqrt(deg[i]) : 0.0f;
+  }
+  std::vector<Triplet> t;
+  t.reserve(static_cast<size_t>(tilde.Nnz()));
+  for (int64_t r = 0; r < tilde.rows(); ++r) {
+    for (int64_t k = tilde.row_ptr()[static_cast<size_t>(r)];
+         k < tilde.row_ptr()[static_cast<size_t>(r) + 1]; ++k) {
+      const int64_t c = tilde.col_idx()[static_cast<size_t>(k)];
+      t.push_back({r, c,
+                   tilde.values()[static_cast<size_t>(k)] *
+                       dinv_sqrt[static_cast<size_t>(r)] *
+                       dinv_sqrt[static_cast<size_t>(c)]});
+    }
+  }
+  return CsrMatrix::FromTriplets(tilde.rows(), tilde.cols(), std::move(t));
+}
+
+CsrMatrix RowNormalize(const CsrMatrix& a) {
+  const std::vector<float> deg = a.RowSums();
+  std::vector<Triplet> t;
+  t.reserve(static_cast<size_t>(a.Nnz()));
+  for (int64_t r = 0; r < a.rows(); ++r) {
+    const float d = deg[static_cast<size_t>(r)];
+    if (d == 0.0f) continue;
+    const float inv = 1.0f / d;
+    for (int64_t k = a.row_ptr()[static_cast<size_t>(r)];
+         k < a.row_ptr()[static_cast<size_t>(r) + 1]; ++k) {
+      t.push_back({r, a.col_idx()[static_cast<size_t>(k)],
+                   a.values()[static_cast<size_t>(k)] * inv});
+    }
+  }
+  return CsrMatrix::FromTriplets(a.rows(), a.cols(), std::move(t));
+}
+
+Graph::Graph(CsrMatrix adjacency, Tensor features,
+             std::vector<int64_t> labels, int64_t num_classes)
+    : adjacency_(std::move(adjacency)),
+      features_(std::move(features)),
+      labels_(std::move(labels)),
+      num_classes_(num_classes) {
+  MCOND_CHECK_EQ(adjacency_.rows(), adjacency_.cols());
+  MCOND_CHECK_EQ(adjacency_.rows(), features_.rows());
+  MCOND_CHECK_EQ(adjacency_.rows(), static_cast<int64_t>(labels_.size()));
+  for (int64_t y : labels_) {
+    MCOND_CHECK(y >= -1 && y < num_classes_) << "label " << y;
+  }
+  normalized_ = SymNormalize(adjacency_);
+  row_normalized_ = RowNormalize(AddSelfLoops(adjacency_));
+}
+
+std::vector<int64_t> Graph::LabeledNodes() const {
+  std::vector<int64_t> out;
+  for (size_t i = 0; i < labels_.size(); ++i) {
+    if (labels_[i] >= 0) out.push_back(static_cast<int64_t>(i));
+  }
+  return out;
+}
+
+std::vector<int64_t> Graph::ClassCounts() const {
+  std::vector<int64_t> counts(static_cast<size_t>(num_classes_), 0);
+  for (int64_t y : labels_) {
+    if (y >= 0) ++counts[static_cast<size_t>(y)];
+  }
+  return counts;
+}
+
+int64_t Graph::StorageBytes() const {
+  return adjacency_.StorageBytes() +
+         features_.size() * static_cast<int64_t>(sizeof(float));
+}
+
+Graph InducedSubgraph(const Graph& g, const std::vector<int64_t>& nodes) {
+  std::unordered_map<int64_t, int64_t> remap;
+  remap.reserve(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const bool inserted =
+        remap.emplace(nodes[i], static_cast<int64_t>(i)).second;
+    MCOND_CHECK(inserted) << "duplicate node " << nodes[i];
+  }
+  const CsrMatrix& a = g.adjacency();
+  std::vector<Triplet> t;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const int64_t r = nodes[i];
+    for (int64_t k = a.row_ptr()[static_cast<size_t>(r)];
+         k < a.row_ptr()[static_cast<size_t>(r) + 1]; ++k) {
+      const int64_t c = a.col_idx()[static_cast<size_t>(k)];
+      const auto it = remap.find(c);
+      if (it != remap.end()) {
+        t.push_back({static_cast<int64_t>(i), it->second,
+                     a.values()[static_cast<size_t>(k)]});
+      }
+    }
+  }
+  const int64_t n = static_cast<int64_t>(nodes.size());
+  CsrMatrix sub_adj = CsrMatrix::FromTriplets(n, n, std::move(t));
+  Tensor sub_x = GatherRows(g.features(), nodes);
+  std::vector<int64_t> sub_y(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    sub_y[i] = g.labels()[static_cast<size_t>(nodes[i])];
+  }
+  return Graph(std::move(sub_adj), std::move(sub_x), std::move(sub_y),
+               g.num_classes());
+}
+
+}  // namespace mcond

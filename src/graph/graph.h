@@ -1,0 +1,73 @@
+#ifndef MCOND_GRAPH_GRAPH_H_
+#define MCOND_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/csr_matrix.h"
+#include "core/tensor.h"
+
+namespace mcond {
+
+/// Adds self-loops with the given weight (skipping nodes that already have
+/// one) — the Ã = A + I step of GCN normalization.
+CsrMatrix AddSelfLoops(const CsrMatrix& a, float weight = 1.0f);
+
+/// Symmetric GCN normalization D^{-1/2} (A + I) D^{-1/2}, where D is the
+/// (weighted) degree of A + I. Zero-degree rows stay zero.
+CsrMatrix SymNormalize(const CsrMatrix& a, bool add_self_loops = true);
+
+/// Row-stochastic normalization D^{-1} A (random-walk / mean aggregation).
+CsrMatrix RowNormalize(const CsrMatrix& a);
+
+/// An attributed, labeled graph: the T = {A, X, Y} (or S = {A', X', Y'}) of
+/// the paper. Holds the raw adjacency plus its cached GCN-normalized form so
+/// repeated forward passes don't recompute degrees.
+class Graph {
+ public:
+  Graph() : num_classes_(0) {}
+
+  /// `adjacency` is the raw (no self-loop) adjacency; `labels[i]` in
+  /// [0, num_classes) or -1 for unlabeled nodes.
+  Graph(CsrMatrix adjacency, Tensor features, std::vector<int64_t> labels,
+        int64_t num_classes);
+
+  int64_t NumNodes() const { return adjacency_.rows(); }
+  int64_t NumEdges() const { return adjacency_.Nnz(); }
+  int64_t FeatureDim() const { return features_.cols(); }
+  int64_t num_classes() const { return num_classes_; }
+
+  const CsrMatrix& adjacency() const { return adjacency_; }
+  const CsrMatrix& normalized_adjacency() const { return normalized_; }
+  /// Row-normalized (A + I); used by GraphSAGE-style mean aggregation.
+  const CsrMatrix& row_normalized_adjacency() const { return row_normalized_; }
+  const Tensor& features() const { return features_; }
+  const std::vector<int64_t>& labels() const { return labels_; }
+
+  /// Indices of nodes with a label (>= 0).
+  std::vector<int64_t> LabeledNodes() const;
+
+  /// Per-class node counts over labeled nodes.
+  std::vector<int64_t> ClassCounts() const;
+
+  /// The paper's memory model for a deployed graph: CSR storage of the
+  /// adjacency plus N·d float features.
+  int64_t StorageBytes() const;
+
+ private:
+  CsrMatrix adjacency_;
+  CsrMatrix normalized_;
+  CsrMatrix row_normalized_;
+  Tensor features_;
+  std::vector<int64_t> labels_;
+  int64_t num_classes_;
+};
+
+/// Induced subgraph on `nodes` (which must be distinct). Node i of the
+/// result corresponds to original node nodes[i]; edges with both endpoints
+/// in `nodes` are kept.
+Graph InducedSubgraph(const Graph& g, const std::vector<int64_t>& nodes);
+
+}  // namespace mcond
+
+#endif  // MCOND_GRAPH_GRAPH_H_

@@ -1,0 +1,112 @@
+#include "graph/inductive.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/tensor_ops.h"
+
+namespace mcond {
+
+namespace {
+
+constexpr int64_t kTrain = 0;
+constexpr int64_t kVal = 1;
+constexpr int64_t kTest = 2;
+
+/// Extracts the cross-partition links (part → train) and intra-partition
+/// edges for the held-out partition `part`.
+HeldOutBatch ExtractBatch(const Graph& full,
+                          const std::vector<int64_t>& assignment,
+                          const std::vector<int64_t>& local_index,
+                          const std::vector<int64_t>& members,
+                          int64_t n_train, int64_t part) {
+  const int64_t n = static_cast<int64_t>(members.size());
+  std::vector<Triplet> links;
+  std::vector<Triplet> inter;
+  const CsrMatrix& a = full.adjacency();
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t u = members[static_cast<size_t>(i)];
+    for (int64_t k = a.row_ptr()[static_cast<size_t>(u)];
+         k < a.row_ptr()[static_cast<size_t>(u) + 1]; ++k) {
+      const int64_t v = a.col_idx()[static_cast<size_t>(k)];
+      const float w = a.values()[static_cast<size_t>(k)];
+      if (assignment[static_cast<size_t>(v)] == kTrain) {
+        links.push_back({i, local_index[static_cast<size_t>(v)], w});
+      } else if (assignment[static_cast<size_t>(v)] == part) {
+        inter.push_back({i, local_index[static_cast<size_t>(v)], w});
+      }
+      // Edges to the other held-out partition are dropped: test nodes never
+      // see validation nodes and vice versa.
+    }
+  }
+  HeldOutBatch batch;
+  batch.features = GatherRows(full.features(), members);
+  batch.links = CsrMatrix::FromTriplets(n, n_train, std::move(links));
+  batch.inter = CsrMatrix::FromTriplets(n, n, std::move(inter));
+  batch.labels.resize(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    batch.labels[static_cast<size_t>(i)] =
+        full.labels()[static_cast<size_t>(members[static_cast<size_t>(i)])];
+  }
+  return batch;
+}
+
+}  // namespace
+
+InductiveDataset MakeInductiveSplit(const Graph& full, double val_fraction,
+                                    double test_fraction, Rng& rng,
+                                    std::string name) {
+  const int64_t n = full.NumNodes();
+  MCOND_CHECK_GT(n, 0);
+  MCOND_CHECK(val_fraction >= 0 && test_fraction >= 0 &&
+              val_fraction + test_fraction < 1.0)
+      << "bad fractions " << val_fraction << " " << test_fraction;
+  std::vector<int64_t> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+  const int64_t n_val = static_cast<int64_t>(val_fraction * n);
+  const int64_t n_test = static_cast<int64_t>(test_fraction * n);
+
+  std::vector<int64_t> assignment(static_cast<size_t>(n), kTrain);
+  std::vector<int64_t> val_nodes, test_nodes, train_nodes;
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t u = order[static_cast<size_t>(i)];
+    if (i < n_val) {
+      assignment[static_cast<size_t>(u)] = kVal;
+      val_nodes.push_back(u);
+    } else if (i < n_val + n_test) {
+      assignment[static_cast<size_t>(u)] = kTest;
+      test_nodes.push_back(u);
+    } else {
+      train_nodes.push_back(u);
+    }
+  }
+  // Keep node order stable (sorted by original id) for reproducibility.
+  std::sort(train_nodes.begin(), train_nodes.end());
+  std::sort(val_nodes.begin(), val_nodes.end());
+  std::sort(test_nodes.begin(), test_nodes.end());
+
+  std::vector<int64_t> local_index(static_cast<size_t>(n), -1);
+  for (size_t i = 0; i < train_nodes.size(); ++i) {
+    local_index[static_cast<size_t>(train_nodes[i])] =
+        static_cast<int64_t>(i);
+  }
+  for (size_t i = 0; i < val_nodes.size(); ++i) {
+    local_index[static_cast<size_t>(val_nodes[i])] = static_cast<int64_t>(i);
+  }
+  for (size_t i = 0; i < test_nodes.size(); ++i) {
+    local_index[static_cast<size_t>(test_nodes[i])] = static_cast<int64_t>(i);
+  }
+
+  InductiveDataset ds;
+  ds.name = std::move(name);
+  ds.train_graph = InducedSubgraph(full, train_nodes);
+  const int64_t n_train = static_cast<int64_t>(train_nodes.size());
+  ds.val = ExtractBatch(full, assignment, local_index, val_nodes, n_train,
+                        kVal);
+  ds.test = ExtractBatch(full, assignment, local_index, test_nodes, n_train,
+                         kTest);
+  return ds;
+}
+
+}  // namespace mcond

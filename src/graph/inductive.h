@@ -1,0 +1,65 @@
+#ifndef MCOND_GRAPH_INDUCTIVE_H_
+#define MCOND_GRAPH_INDUCTIVE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/csr_matrix.h"
+#include "core/rng.h"
+#include "core/tensor.h"
+#include "graph/graph.h"
+
+namespace mcond {
+
+/// A batch of nodes held out of the original graph: their features, labels,
+/// connections into the observed (training) graph, and connections among
+/// themselves. This is the `(a, x, ã)` bundle of Eq. (3)/(11); validation
+/// nodes play this role as support nodes during M training (§III-D) and
+/// test nodes at evaluation time.
+struct HeldOutBatch {
+  /// n×d features of the held-out nodes.
+  Tensor features;
+  /// n×N incremental adjacency `a` into the observed graph.
+  CsrMatrix links;
+  /// n×n adjacency `ã` among held-out nodes (the graph-batch setting); the
+  /// node-batch setting replaces it with an empty matrix at evaluation time.
+  CsrMatrix inter;
+  /// Ground-truth labels (used for evaluation only, never for training; the
+  /// paper stresses support-node labels are not consumed).
+  std::vector<int64_t> labels;
+
+  int64_t size() const { return features.rows(); }
+
+  /// The same batch with ã zeroed — the paper's "node batch" setting where
+  /// inductive nodes arrive in isolation.
+  HeldOutBatch WithoutInterEdges() const {
+    HeldOutBatch out = *this;
+    out.inter = CsrMatrix::FromTriplets(size(), size(), {});
+    return out;
+  }
+};
+
+/// The full inductive benchmark: the observed graph T to be condensed plus
+/// validation (support) and test (inductive) batches. Mirrors the paper's
+/// protocol: "the original graph to be condensed only contains the training
+/// nodes and their interconnections."
+struct InductiveDataset {
+  std::string name;
+  Graph train_graph;
+  HeldOutBatch val;
+  HeldOutBatch test;
+};
+
+/// Splits a fully observed graph into an InductiveDataset. Nodes are
+/// assigned to train/val/test uniformly at random according to the given
+/// fractions (train gets the remainder). Edges between two held-out
+/// partitions other than (held-out, train) are dropped for the `links`
+/// matrices and kept within each partition for `inter`.
+InductiveDataset MakeInductiveSplit(const Graph& full, double val_fraction,
+                                    double test_fraction, Rng& rng,
+                                    std::string name = "dataset");
+
+}  // namespace mcond
+
+#endif  // MCOND_GRAPH_INDUCTIVE_H_

@@ -1,0 +1,50 @@
+#include "graph/sampling.h"
+
+#include <algorithm>
+
+namespace mcond {
+
+EdgeBatch SampleEdgeBatch(const CsrMatrix& adjacency, int64_t num_pos,
+                          int64_t num_neg, Rng& rng) {
+  MCOND_CHECK_EQ(adjacency.rows(), adjacency.cols());
+  const int64_t n = adjacency.rows();
+  const int64_t nnz = adjacency.Nnz();
+  EdgeBatch batch;
+  if (n == 0) return batch;
+
+  // Positive samples: pick edge slots uniformly; CSR slot k belongs to the
+  // row r with row_ptr[r] <= k < row_ptr[r+1].
+  const int64_t actual_pos = std::min(num_pos, nnz);
+  if (nnz > 0) {
+    for (int64_t s = 0; s < actual_pos; ++s) {
+      const int64_t k = (actual_pos == nnz) ? s : rng.RandInt(0, nnz - 1);
+      const auto it = std::upper_bound(adjacency.row_ptr().begin(),
+                                       adjacency.row_ptr().end(), k);
+      const int64_t r =
+          static_cast<int64_t>(it - adjacency.row_ptr().begin()) - 1;
+      batch.src.push_back(r);
+      batch.dst.push_back(adjacency.col_idx()[static_cast<size_t>(k)]);
+      batch.target.push_back(1.0f);
+    }
+  }
+
+  // Negative samples: uniform pairs rejected against A. Our graphs are
+  // sparse, so a handful of rejections suffices; cap attempts for safety on
+  // adversarially dense inputs.
+  int64_t produced = 0;
+  int64_t attempts = 0;
+  const int64_t max_attempts = 50 * std::max<int64_t>(num_neg, 1);
+  while (produced < num_neg && attempts < max_attempts) {
+    ++attempts;
+    const int64_t i = rng.RandInt(0, n - 1);
+    const int64_t j = rng.RandInt(0, n - 1);
+    if (i == j || adjacency.HasEntry(i, j)) continue;
+    batch.src.push_back(i);
+    batch.dst.push_back(j);
+    batch.target.push_back(0.0f);
+    ++produced;
+  }
+  return batch;
+}
+
+}  // namespace mcond

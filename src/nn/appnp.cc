@@ -1,0 +1,27 @@
+#include "nn/appnp.h"
+
+namespace mcond {
+
+Appnp::Appnp(int64_t in_dim, int64_t num_classes, const GnnConfig& config,
+             Rng& rng)
+    : alpha_(config.appnp_alpha),
+      iterations_(config.appnp_iterations),
+      mlp_({in_dim, config.hidden_dim, num_classes}, config.dropout, rng) {}
+
+Variable Appnp::Forward(const GraphOperators& g, const Variable& x,
+                        bool training, Rng& rng) {
+  Variable z = mlp_.Forward(x, training, rng);
+  Variable teleport = ops::Scale(z, alpha_);
+  Variable h = z;
+  for (int64_t i = 0; i < iterations_; ++i) {
+    h = ops::Add(ops::Scale(ops::SpMM(g.gcn_norm, h), 1.0f - alpha_),
+                 teleport);
+  }
+  return h;
+}
+
+std::vector<Variable> Appnp::Parameters() const { return mlp_.Parameters(); }
+
+void Appnp::ResetParameters(Rng& rng) { mlp_.ResetParameters(rng); }
+
+}  // namespace mcond

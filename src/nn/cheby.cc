@@ -1,0 +1,59 @@
+#include "nn/cheby.h"
+
+namespace mcond {
+
+Cheby::Cheby(int64_t in_dim, int64_t num_classes, const GnnConfig& config,
+             Rng& rng)
+    : order_(config.cheby_order), dropout_(config.dropout) {
+  MCOND_CHECK_GE(order_, 1);
+  for (int64_t k = 0; k <= order_; ++k) {
+    layer1_.push_back(std::make_unique<Linear>(in_dim, config.hidden_dim,
+                                               /*use_bias=*/k == 0, rng));
+    layer2_.push_back(std::make_unique<Linear>(config.hidden_dim, num_classes,
+                                               /*use_bias=*/k == 0, rng));
+  }
+}
+
+Variable Cheby::Layer(const GraphOperators& g, const Variable& x,
+                      const std::vector<std::unique_ptr<Linear>>& weights) {
+  // T₀ = x.
+  Variable t_prev = x;
+  Variable acc = weights[0]->Forward(t_prev);
+  // T₁ = L̃x = −Â_noloop x.
+  Variable t_cur = ops::Scale(ops::SpMM(g.sym_no_loop, x), -1.0f);
+  for (size_t k = 1; k < weights.size(); ++k) {
+    acc = ops::Add(acc, weights[k]->Forward(t_cur));
+    if (k + 1 < weights.size()) {
+      Variable t_next = ops::Sub(
+          ops::Scale(ops::SpMM(g.sym_no_loop, t_cur), -2.0f), t_prev);
+      t_prev = t_cur;
+      t_cur = t_next;
+    }
+  }
+  return acc;
+}
+
+Variable Cheby::Forward(const GraphOperators& g, const Variable& x,
+                        bool training, Rng& rng) {
+  Variable h = ops::Relu(Layer(g, x, layer1_));
+  h = ops::Dropout(h, dropout_, rng, training);
+  return Layer(g, h, layer2_);
+}
+
+std::vector<Variable> Cheby::Parameters() const {
+  std::vector<Variable> p;
+  for (const auto& l : layer1_) {
+    for (const Variable& v : l->Parameters()) p.push_back(v);
+  }
+  for (const auto& l : layer2_) {
+    for (const Variable& v : l->Parameters()) p.push_back(v);
+  }
+  return p;
+}
+
+void Cheby::ResetParameters(Rng& rng) {
+  for (const auto& l : layer1_) l->ResetParameters(rng);
+  for (const auto& l : layer2_) l->ResetParameters(rng);
+}
+
+}  // namespace mcond

@@ -1,0 +1,31 @@
+#include "nn/gcn.h"
+
+namespace mcond {
+
+Gcn::Gcn(int64_t in_dim, int64_t num_classes, const GnnConfig& config,
+         Rng& rng)
+    : dropout_(config.dropout),
+      layer1_(in_dim, config.hidden_dim, /*use_bias=*/true, rng),
+      layer2_(config.hidden_dim, num_classes, /*use_bias=*/true, rng) {}
+
+Variable Gcn::Forward(const GraphOperators& g, const Variable& x,
+                      bool training, Rng& rng) {
+  Variable h = ops::SpMM(g.gcn_norm, x);
+  h = ops::Relu(layer1_.Forward(h));
+  h = ops::Dropout(h, dropout_, rng, training);
+  h = ops::SpMM(g.gcn_norm, h);
+  return layer2_.Forward(h);
+}
+
+std::vector<Variable> Gcn::Parameters() const {
+  std::vector<Variable> p = layer1_.Parameters();
+  for (const Variable& v : layer2_.Parameters()) p.push_back(v);
+  return p;
+}
+
+void Gcn::ResetParameters(Rng& rng) {
+  layer1_.ResetParameters(rng);
+  layer2_.ResetParameters(rng);
+}
+
+}  // namespace mcond

@@ -1,0 +1,68 @@
+#include "nn/linear.h"
+
+namespace mcond {
+
+Linear::Linear(int64_t in_dim, int64_t out_dim, bool use_bias, Rng& rng)
+    : in_dim_(in_dim), out_dim_(out_dim), use_bias_(use_bias) {
+  weight_ = MakeVariable(rng.GlorotTensor(in_dim, out_dim),
+                         /*requires_grad=*/true);
+  if (use_bias_) {
+    bias_ = MakeVariable(Tensor(1, out_dim), /*requires_grad=*/true);
+  }
+}
+
+Variable Linear::Forward(const Variable& x) const {
+  Variable y = ops::MatMul(x, weight_);
+  if (use_bias_) y = ops::AddRowBroadcast(y, bias_);
+  return y;
+}
+
+std::vector<Variable> Linear::Parameters() const {
+  std::vector<Variable> p{weight_};
+  if (use_bias_) p.push_back(bias_);
+  return p;
+}
+
+void Linear::ResetParameters(Rng& rng) {
+  weight_->mutable_value() = rng.GlorotTensor(in_dim_, out_dim_);
+  weight_->ZeroGrad();
+  if (use_bias_) {
+    bias_->mutable_value() = Tensor(1, out_dim_);
+    bias_->ZeroGrad();
+  }
+}
+
+Mlp::Mlp(std::vector<int64_t> dims, float dropout, Rng& rng)
+    : dims_(std::move(dims)), dropout_(dropout) {
+  MCOND_CHECK_GE(dims_.size(), 2u);
+  for (size_t i = 0; i + 1 < dims_.size(); ++i) {
+    layers_.push_back(std::make_unique<Linear>(dims_[i], dims_[i + 1],
+                                               /*use_bias=*/true, rng));
+  }
+}
+
+Variable Mlp::Forward(const Variable& x, bool training, Rng& rng) const {
+  Variable h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i]->Forward(h);
+    if (i + 1 < layers_.size()) {
+      h = ops::Relu(h);
+      h = ops::Dropout(h, dropout_, rng, training);
+    }
+  }
+  return h;
+}
+
+std::vector<Variable> Mlp::Parameters() const {
+  std::vector<Variable> out;
+  for (const auto& l : layers_) {
+    for (const Variable& p : l->Parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+void Mlp::ResetParameters(Rng& rng) {
+  for (const auto& l : layers_) l->ResetParameters(rng);
+}
+
+}  // namespace mcond

@@ -1,0 +1,69 @@
+#include "nn/module.h"
+
+#include "nn/appnp.h"
+#include "nn/cheby.h"
+#include "nn/gcn.h"
+#include "nn/sage.h"
+#include "nn/sgc.h"
+
+namespace mcond {
+
+std::vector<Tensor> Module::SnapshotParameters() const {
+  std::vector<Tensor> out;
+  for (const Variable& p : Parameters()) out.push_back(p->value());
+  return out;
+}
+
+void Module::RestoreParameters(const std::vector<Tensor>& snapshot) {
+  const std::vector<Variable> params = Parameters();
+  MCOND_CHECK_EQ(params.size(), snapshot.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    MCOND_CHECK(params[i]->value().SameShape(snapshot[i]));
+    params[i]->mutable_value() = snapshot[i];
+  }
+}
+
+GraphOperators GraphOperators::FromAdjacency(const CsrMatrix& raw_adjacency) {
+  GraphOperators ops;
+  ops.gcn_norm = SymNormalize(raw_adjacency, /*add_self_loops=*/true);
+  ops.row_norm = RowNormalize(AddSelfLoops(raw_adjacency));
+  ops.sym_no_loop = SymNormalize(raw_adjacency, /*add_self_loops=*/false);
+  return ops;
+}
+
+const char* GnnArchName(GnnArch arch) {
+  switch (arch) {
+    case GnnArch::kSgc:
+      return "SGC";
+    case GnnArch::kGcn:
+      return "GCN";
+    case GnnArch::kGraphSage:
+      return "GraphSAGE";
+    case GnnArch::kAppnp:
+      return "APPNP";
+    case GnnArch::kCheby:
+      return "Cheby";
+  }
+  return "?";
+}
+
+std::unique_ptr<GnnModel> MakeGnn(GnnArch arch, int64_t in_dim,
+                                  int64_t num_classes,
+                                  const GnnConfig& config, Rng& rng) {
+  switch (arch) {
+    case GnnArch::kSgc:
+      return std::make_unique<Sgc>(in_dim, num_classes, config, rng);
+    case GnnArch::kGcn:
+      return std::make_unique<Gcn>(in_dim, num_classes, config, rng);
+    case GnnArch::kGraphSage:
+      return std::make_unique<GraphSage>(in_dim, num_classes, config, rng);
+    case GnnArch::kAppnp:
+      return std::make_unique<Appnp>(in_dim, num_classes, config, rng);
+    case GnnArch::kCheby:
+      return std::make_unique<Cheby>(in_dim, num_classes, config, rng);
+  }
+  MCOND_CHECK(false) << "unknown architecture";
+  return nullptr;
+}
+
+}  // namespace mcond

@@ -1,0 +1,38 @@
+#include "nn/sage.h"
+
+namespace mcond {
+
+GraphSage::GraphSage(int64_t in_dim, int64_t num_classes,
+                     const GnnConfig& config, Rng& rng)
+    : dropout_(config.dropout),
+      self1_(in_dim, config.hidden_dim, /*use_bias=*/true, rng),
+      neigh1_(in_dim, config.hidden_dim, /*use_bias=*/false, rng),
+      self2_(config.hidden_dim, num_classes, /*use_bias=*/true, rng),
+      neigh2_(config.hidden_dim, num_classes, /*use_bias=*/false, rng) {}
+
+Variable GraphSage::Forward(const GraphOperators& g, const Variable& x,
+                            bool training, Rng& rng) {
+  Variable agg1 = ops::SpMM(g.row_norm, x);
+  Variable h = ops::Relu(
+      ops::Add(self1_.Forward(x), neigh1_.Forward(agg1)));
+  h = ops::Dropout(h, dropout_, rng, training);
+  Variable agg2 = ops::SpMM(g.row_norm, h);
+  return ops::Add(self2_.Forward(h), neigh2_.Forward(agg2));
+}
+
+std::vector<Variable> GraphSage::Parameters() const {
+  std::vector<Variable> p;
+  for (const Linear* l : {&self1_, &neigh1_, &self2_, &neigh2_}) {
+    for (const Variable& v : l->Parameters()) p.push_back(v);
+  }
+  return p;
+}
+
+void GraphSage::ResetParameters(Rng& rng) {
+  self1_.ResetParameters(rng);
+  neigh1_.ResetParameters(rng);
+  self2_.ResetParameters(rng);
+  neigh2_.ResetParameters(rng);
+}
+
+}  // namespace mcond

@@ -1,0 +1,23 @@
+#include "nn/sgc.h"
+
+namespace mcond {
+
+Sgc::Sgc(int64_t in_dim, int64_t num_classes, const GnnConfig& config,
+         Rng& rng)
+    : k_(config.num_layers),
+      dropout_(config.dropout),
+      linear_(in_dim, num_classes, /*use_bias=*/true, rng) {}
+
+Variable Sgc::Forward(const GraphOperators& g, const Variable& x,
+                      bool training, Rng& rng) {
+  Variable h = x;
+  for (int64_t i = 0; i < k_; ++i) h = ops::SpMM(g.gcn_norm, h);
+  h = ops::Dropout(h, dropout_, rng, training);
+  return linear_.Forward(h);
+}
+
+std::vector<Variable> Sgc::Parameters() const { return linear_.Parameters(); }
+
+void Sgc::ResetParameters(Rng& rng) { linear_.ResetParameters(rng); }
+
+}  // namespace mcond

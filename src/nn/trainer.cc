@@ -1,0 +1,53 @@
+#include "nn/trainer.h"
+
+#include <iostream>
+
+#include "autograd/optimizer.h"
+
+namespace mcond {
+
+TrainResult TrainNodeClassifier(GnnModel& model, const GraphOperators& g,
+                                const Tensor& features,
+                                const std::vector<int64_t>& labels,
+                                const std::vector<int64_t>& train_nodes,
+                                const TrainConfig& config, Rng& rng,
+                                const std::function<double()>& eval_fn) {
+  MCOND_CHECK(!train_nodes.empty()) << "no labeled nodes to train on";
+  std::vector<int64_t> train_labels;
+  train_labels.reserve(train_nodes.size());
+  for (int64_t i : train_nodes) {
+    const int64_t y = labels[static_cast<size_t>(i)];
+    MCOND_CHECK_GE(y, 0) << "train node " << i << " is unlabeled";
+    train_labels.push_back(y);
+  }
+
+  AdamOptimizer opt(model.Parameters(), config.lr, config.weight_decay);
+  TrainResult result;
+  std::vector<Tensor> best_snapshot;
+  for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    Variable x = MakeConstant(features);
+    Variable logits = model.Forward(g, x, /*training=*/true, rng);
+    Variable batch = ops::GatherRows(logits, train_nodes);
+    Variable loss = ops::SoftmaxCrossEntropy(batch, train_labels);
+    opt.ZeroGrad();
+    Backward(loss);
+    opt.Step();
+    result.final_loss = loss->value().At(0, 0);
+    if (eval_fn && (epoch % config.eval_every == config.eval_every - 1 ||
+                    epoch + 1 == config.epochs)) {
+      const double score = eval_fn();
+      if (score > result.best_eval || best_snapshot.empty()) {
+        result.best_eval = score;
+        best_snapshot = model.SnapshotParameters();
+      }
+      if (config.verbose) {
+        std::cout << "epoch " << epoch << " loss " << result.final_loss
+                  << " eval " << score << "\n";
+      }
+    }
+  }
+  if (!best_snapshot.empty()) model.RestoreParameters(best_snapshot);
+  return result;
+}
+
+}  // namespace mcond

@@ -1,0 +1,40 @@
+#ifndef MCOND_NN_TRAINER_H_
+#define MCOND_NN_TRAINER_H_
+
+#include <functional>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace mcond {
+
+/// Full-batch training hyper-parameters.
+struct TrainConfig {
+  int64_t epochs = 200;
+  float lr = 0.01f;
+  float weight_decay = 5e-4f;
+  /// How often the validation callback runs (epochs).
+  int64_t eval_every = 10;
+  bool verbose = false;
+};
+
+/// Result of a training run.
+struct TrainResult {
+  float final_loss = 0.0f;
+  /// Best validation score seen (if a callback was supplied), else 0.
+  double best_eval = 0.0;
+};
+
+/// Trains `model` with Adam on the cross-entropy of `train_nodes` of a
+/// deployed graph (full-batch). If `eval_fn` is provided it is called
+/// periodically; the parameters achieving the best score are restored at
+/// the end (validation-based model selection, as the paper's protocol).
+TrainResult TrainNodeClassifier(
+    GnnModel& model, const GraphOperators& g, const Tensor& features,
+    const std::vector<int64_t>& labels,
+    const std::vector<int64_t>& train_nodes, const TrainConfig& config,
+    Rng& rng, const std::function<double()>& eval_fn = nullptr);
+
+}  // namespace mcond
+
+#endif  // MCOND_NN_TRAINER_H_

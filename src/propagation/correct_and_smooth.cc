@@ -1,0 +1,32 @@
+#include "propagation/correct_and_smooth.h"
+
+#include "core/logging.h"
+#include "nn/metrics.h"
+#include "propagation/error_propagation.h"
+#include "propagation/label_propagation.h"
+
+namespace mcond {
+
+Tensor CorrectAndSmooth(const CsrMatrix& norm_adj, const Tensor& logits,
+                        const std::vector<int64_t>& known_labels,
+                        const CorrectAndSmoothConfig& config) {
+  MCOND_CHECK_EQ(logits.rows(), static_cast<int64_t>(known_labels.size()));
+  // Correct: EP's residual diffusion.
+  Tensor corrected = ErrorPropagation(
+      norm_adj, logits, known_labels, config.correct_alpha,
+      config.correct_iterations, config.correct_gamma);
+  // Smooth: clamp known nodes to their labels, then diffuse.
+  const int64_t num_classes = logits.cols();
+  for (int64_t i = 0; i < corrected.rows(); ++i) {
+    const int64_t y = known_labels[static_cast<size_t>(i)];
+    if (y < 0) continue;
+    float* row = corrected.RowData(i);
+    for (int64_t j = 0; j < num_classes; ++j) {
+      row[j] = (j == y) ? 1.0f : 0.0f;
+    }
+  }
+  return PropagateSignal(norm_adj, corrected, config.smooth_alpha,
+                         config.smooth_iterations);
+}
+
+}  // namespace mcond

@@ -1,0 +1,35 @@
+#ifndef MCOND_PROPAGATION_CORRECT_AND_SMOOTH_H_
+#define MCOND_PROPAGATION_CORRECT_AND_SMOOTH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/csr_matrix.h"
+#include "core/tensor.h"
+
+namespace mcond {
+
+/// Hyper-parameters of the two C&S stages.
+struct CorrectAndSmoothConfig {
+  float correct_alpha = 0.9f;
+  int64_t correct_iterations = 20;
+  /// Scale of the diffused residual added to the base predictions.
+  float correct_gamma = 1.0f;
+  float smooth_alpha = 0.8f;
+  int64_t smooth_iterations = 10;
+};
+
+/// The full Correct & Smooth pipeline (Huang et al., 2021) over a deployed
+/// graph: the "Correct" stage diffuses the residual error on known nodes
+/// (the EP of the paper's §IV-D), and the "Smooth" stage additionally
+/// diffuses the corrected predictions themselves, with known nodes clamped
+/// to their labels. An extension beyond the paper's EP — the smoothing
+/// stage typically adds a little accuracy on homophilous deployments at
+/// the same (small-graph) propagation cost.
+Tensor CorrectAndSmooth(const CsrMatrix& norm_adj, const Tensor& logits,
+                        const std::vector<int64_t>& known_labels,
+                        const CorrectAndSmoothConfig& config = {});
+
+}  // namespace mcond
+
+#endif  // MCOND_PROPAGATION_CORRECT_AND_SMOOTH_H_

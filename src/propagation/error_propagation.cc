@@ -1,0 +1,32 @@
+#include "propagation/error_propagation.h"
+
+#include "core/logging.h"
+#include "core/tensor_ops.h"
+#include "nn/metrics.h"
+#include "propagation/label_propagation.h"
+
+namespace mcond {
+
+Tensor ErrorPropagation(const CsrMatrix& norm_adj, const Tensor& logits,
+                        const std::vector<int64_t>& known_labels,
+                        float alpha, int64_t iterations, float gamma) {
+  MCOND_CHECK_EQ(logits.rows(), static_cast<int64_t>(known_labels.size()));
+  const Tensor probs = SoftmaxRows(logits);
+  Tensor residual(logits.rows(), logits.cols());
+  for (int64_t i = 0; i < logits.rows(); ++i) {
+    const int64_t y = known_labels[static_cast<size_t>(i)];
+    if (y < 0) continue;
+    MCOND_CHECK_LT(y, logits.cols());
+    const float* p = probs.RowData(i);
+    float* r = residual.RowData(i);
+    for (int64_t j = 0; j < logits.cols(); ++j) r[j] = -p[j];
+    r[y] += 1.0f;
+  }
+  const Tensor diffused =
+      PropagateSignal(norm_adj, residual, alpha, iterations);
+  Tensor out = probs;
+  AxpyInPlace(out, gamma, diffused);
+  return out;
+}
+
+}  // namespace mcond

@@ -1,0 +1,29 @@
+#ifndef MCOND_PROPAGATION_ERROR_PROPAGATION_H_
+#define MCOND_PROPAGATION_ERROR_PROPAGATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/csr_matrix.h"
+#include "core/tensor.h"
+
+namespace mcond {
+
+/// Error propagation (the "Correct" step of Correct & Smooth, Huang et al.
+/// 2021), the EP calibrator of §IV-D. Computes the GNN's residual error on
+/// the nodes with known labels, diffuses it over the deployed graph, and
+/// adds the diffused correction to the base predictions:
+///
+///   E₀[i] = onehot(y_i) − softmax(logits)[i]  for known node i, else 0
+///   E     = PropagateSignal(Â, E₀, α, iters)
+///   out   = softmax(logits) + γ · E
+///
+/// `known_labels[i] = -1` marks nodes without a label (inductive nodes).
+Tensor ErrorPropagation(const CsrMatrix& norm_adj, const Tensor& logits,
+                        const std::vector<int64_t>& known_labels,
+                        float alpha = 0.9f, int64_t iterations = 20,
+                        float gamma = 1.0f);
+
+}  // namespace mcond
+
+#endif  // MCOND_PROPAGATION_ERROR_PROPAGATION_H_

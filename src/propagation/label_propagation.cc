@@ -1,0 +1,25 @@
+#include "propagation/label_propagation.h"
+
+#include "core/logging.h"
+#include "core/tensor_ops.h"
+
+namespace mcond {
+
+Tensor PropagateSignal(const CsrMatrix& norm_adj, const Tensor& seed,
+                       float alpha, int64_t iterations) {
+  MCOND_CHECK_EQ(norm_adj.rows(), seed.rows());
+  MCOND_CHECK_EQ(norm_adj.cols(), seed.rows());
+  Tensor f = seed;
+  const Tensor teleport = Scale(seed, 1.0f - alpha);
+  for (int64_t i = 0; i < iterations; ++i) {
+    f = Add(Scale(norm_adj.SpMM(f), alpha), teleport);
+  }
+  return f;
+}
+
+Tensor LabelPropagation(const CsrMatrix& norm_adj, const Tensor& seed_labels,
+                        float alpha, int64_t iterations) {
+  return PropagateSignal(norm_adj, seed_labels, alpha, iterations);
+}
+
+}  // namespace mcond

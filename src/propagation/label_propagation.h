@@ -1,0 +1,28 @@
+#ifndef MCOND_PROPAGATION_LABEL_PROPAGATION_H_
+#define MCOND_PROPAGATION_LABEL_PROPAGATION_H_
+
+#include <cstdint>
+
+#include "core/csr_matrix.h"
+#include "core/tensor.h"
+
+namespace mcond {
+
+/// Iterative propagation shared by LP and EP:
+///   F ← α Â F + (1 − α) F₀,
+/// run `iterations` times from F = F₀. `norm_adj` is any (symmetric or
+/// row) normalized adjacency over the deployed graph.
+Tensor PropagateSignal(const CsrMatrix& norm_adj, const Tensor& seed,
+                       float alpha, int64_t iterations);
+
+/// Label propagation (§IV-D): seeds the known nodes (e.g. synthetic nodes
+/// with labels Y') with their one-hot labels, zero elsewhere, and
+/// propagates; row i of the result scores node i's classes. `seed` is the
+/// full (N+n)×C seed matrix — build it with OneHot and zero rows for the
+/// inductive nodes.
+Tensor LabelPropagation(const CsrMatrix& norm_adj, const Tensor& seed_labels,
+                        float alpha = 0.9f, int64_t iterations = 20);
+
+}  // namespace mcond
+
+#endif  // MCOND_PROPAGATION_LABEL_PROPAGATION_H_

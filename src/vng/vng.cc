@@ -1,0 +1,194 @@
+#include "vng/vng.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "condense/class_distribution.h"
+#include "core/tensor_ops.h"
+
+namespace mcond {
+
+namespace {
+
+/// Weighted k-means over the given member rows of `embeddings`. Returns the
+/// cluster id (0..k-1) of each member.
+std::vector<int64_t> WeightedKMeans(const Tensor& embeddings,
+                                    const std::vector<int64_t>& members,
+                                    const std::vector<float>& weights,
+                                    int64_t k, int64_t iterations, Rng& rng) {
+  const int64_t d = embeddings.cols();
+  const int64_t m = static_cast<int64_t>(members.size());
+  MCOND_CHECK_LE(k, m);
+  // Initialize centroids from distinct random members.
+  std::vector<int64_t> init =
+      rng.SampleWithoutReplacement(m, k);
+  Tensor centroids(k, d);
+  for (int64_t c = 0; c < k; ++c) {
+    const float* src =
+        embeddings.RowData(members[static_cast<size_t>(init[static_cast<size_t>(c)])]);
+    std::copy(src, src + d, centroids.RowData(c));
+  }
+  std::vector<int64_t> assign(static_cast<size_t>(m), 0);
+  for (int64_t iter = 0; iter < iterations; ++iter) {
+    bool changed = false;
+    for (int64_t i = 0; i < m; ++i) {
+      const float* row = embeddings.RowData(members[static_cast<size_t>(i)]);
+      int64_t best = 0;
+      float best_d = std::numeric_limits<float>::infinity();
+      for (int64_t c = 0; c < k; ++c) {
+        const float* cen = centroids.RowData(c);
+        float dist = 0.0f;
+        for (int64_t j = 0; j < d; ++j) {
+          const float diff = row[j] - cen[j];
+          dist += diff * diff;
+        }
+        if (dist < best_d) {
+          best_d = dist;
+          best = c;
+        }
+      }
+      if (assign[static_cast<size_t>(i)] != best) {
+        assign[static_cast<size_t>(i)] = best;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0) break;
+    // Weighted centroid update; empty clusters are re-seeded randomly.
+    centroids.SetZero();
+    std::vector<float> mass(static_cast<size_t>(k), 0.0f);
+    for (int64_t i = 0; i < m; ++i) {
+      const float w = weights[static_cast<size_t>(i)];
+      const float* row = embeddings.RowData(members[static_cast<size_t>(i)]);
+      float* cen = centroids.RowData(assign[static_cast<size_t>(i)]);
+      for (int64_t j = 0; j < d; ++j) cen[j] += w * row[j];
+      mass[static_cast<size_t>(assign[static_cast<size_t>(i)])] += w;
+    }
+    for (int64_t c = 0; c < k; ++c) {
+      if (mass[static_cast<size_t>(c)] > 0.0f) {
+        const float inv = 1.0f / mass[static_cast<size_t>(c)];
+        float* cen = centroids.RowData(c);
+        for (int64_t j = 0; j < d; ++j) cen[j] *= inv;
+      } else {
+        const int64_t pick = rng.RandInt(0, m - 1);
+        const float* src =
+            embeddings.RowData(members[static_cast<size_t>(pick)]);
+        std::copy(src, src + d, centroids.RowData(c));
+      }
+    }
+  }
+  return assign;
+}
+
+}  // namespace
+
+CondensedGraph RunVng(const Graph& original, int64_t num_virtual,
+                      const VngConfig& config, Rng& rng) {
+  const int64_t n = original.NumNodes();
+  const int64_t c = original.num_classes();
+  MCOND_CHECK_GE(num_virtual, c);
+
+  // Propagated embeddings guide the clustering (what the forward pass sees).
+  Tensor z = original.normalized_adjacency().SpMM(
+      original.normalized_adjacency().SpMM(original.features()));
+
+  // Label-free weighted k-means over all nodes at once: VNG compresses the
+  // graph purely from the forward-pass geometry (it is an inference-time
+  // method and never consumes labels). Each virtual node later takes the
+  // majority label of its members only so the artifact satisfies the
+  // CondensedGraph interface; serving never reads those labels.
+  std::vector<int64_t> all_nodes(static_cast<size_t>(n));
+  std::iota(all_nodes.begin(), all_nodes.end(), 0);
+  std::vector<float> weights(static_cast<size_t>(n), 1.0f);
+  if (config.degree_weighted) {
+    for (int64_t i = 0; i < n; ++i) {
+      weights[static_cast<size_t>(i)] =
+          1.0f + static_cast<float>(original.adjacency().RowNnz(i));
+    }
+  }
+  const std::vector<int64_t> virtual_of = WeightedKMeans(
+      z, all_nodes, weights, num_virtual, config.kmeans_iterations, rng);
+  const int64_t v = num_virtual;
+
+  // Majority label per virtual node (-1 if all members are unlabeled).
+  std::vector<int64_t> virtual_labels(static_cast<size_t>(v), -1);
+  {
+    std::vector<std::vector<int64_t>> votes(
+        static_cast<size_t>(v), std::vector<int64_t>(static_cast<size_t>(c), 0));
+    for (int64_t i = 0; i < n; ++i) {
+      const int64_t y = original.labels()[static_cast<size_t>(i)];
+      if (y >= 0) {
+        ++votes[static_cast<size_t>(virtual_of[static_cast<size_t>(i)])]
+               [static_cast<size_t>(y)];
+      }
+    }
+    for (int64_t g = 0; g < v; ++g) {
+      int64_t best = -1, best_count = 0;
+      for (int64_t k = 0; k < c; ++k) {
+        if (votes[static_cast<size_t>(g)][static_cast<size_t>(k)] >
+            best_count) {
+          best_count = votes[static_cast<size_t>(g)][static_cast<size_t>(k)];
+          best = k;
+        }
+      }
+      virtual_labels[static_cast<size_t>(g)] = best;
+    }
+  }
+
+  // Virtual features: weighted mean of member features.
+  Tensor x_virtual(v, original.FeatureDim());
+  std::vector<float> mass(static_cast<size_t>(v), 0.0f);
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t g = virtual_of[static_cast<size_t>(i)];
+    const float w =
+        config.degree_weighted
+            ? 1.0f + static_cast<float>(original.adjacency().RowNnz(i))
+            : 1.0f;
+    const float* row = original.features().RowData(i);
+    float* dst = x_virtual.RowData(g);
+    for (int64_t j = 0; j < x_virtual.cols(); ++j) dst[j] += w * row[j];
+    mass[static_cast<size_t>(g)] += w;
+  }
+  for (int64_t g = 0; g < v; ++g) {
+    const float inv = mass[static_cast<size_t>(g)] > 0.0f
+                          ? 1.0f / mass[static_cast<size_t>(g)]
+                          : 0.0f;
+    float* dst = x_virtual.RowData(g);
+    for (int64_t j = 0; j < x_virtual.cols(); ++j) dst[j] *= inv;
+  }
+
+  // Virtual adjacency: column-normalized assignment P, A_v = Pᵀ A P —
+  // generally dense across cluster pairs.
+  std::vector<float> cluster_size(static_cast<size_t>(v), 0.0f);
+  for (int64_t i = 0; i < n; ++i) {
+    cluster_size[static_cast<size_t>(virtual_of[static_cast<size_t>(i)])] +=
+        1.0f;
+  }
+  Tensor a_virtual(v, v);
+  const CsrMatrix& a = original.adjacency();
+  for (int64_t i = 0; i < n; ++i) {
+    const int64_t gi = virtual_of[static_cast<size_t>(i)];
+    for (int64_t e = a.row_ptr()[static_cast<size_t>(i)];
+         e < a.row_ptr()[static_cast<size_t>(i) + 1]; ++e) {
+      const int64_t j = a.col_idx()[static_cast<size_t>(e)];
+      const int64_t gj = virtual_of[static_cast<size_t>(j)];
+      a_virtual.At(gi, gj) +=
+          a.values()[static_cast<size_t>(e)] /
+          (cluster_size[static_cast<size_t>(gi)] *
+           cluster_size[static_cast<size_t>(gj)]);
+    }
+  }
+
+  CondensedGraph out;
+  out.graph = Graph(CsrMatrix::FromDense(a_virtual, /*drop_tol=*/0.0f),
+                    std::move(x_virtual), virtual_labels, c);
+  std::vector<Triplet> p;
+  p.reserve(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    p.push_back({i, virtual_of[static_cast<size_t>(i)], 1.0f});
+  }
+  out.mapping = CsrMatrix::FromTriplets(n, v, std::move(p));
+  return out;
+}
+
+}  // namespace mcond

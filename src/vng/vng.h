@@ -1,0 +1,36 @@
+#ifndef MCOND_VNG_VNG_H_
+#define MCOND_VNG_VNG_H_
+
+#include <cstdint>
+
+#include "condense/condensed.h"
+#include "core/rng.h"
+#include "graph/graph.h"
+
+namespace mcond {
+
+/// Configuration of the VNG baseline.
+struct VngConfig {
+  int64_t kmeans_iterations = 25;
+  /// Weight nodes by (degree + 1) in the k-means objective, as VNG weights
+  /// nodes by their influence on the forward pass.
+  bool degree_weighted = true;
+};
+
+/// Virtual Node Graph baseline (Si et al., "Serving graph compression for
+/// graph neural networks", ICLR 2023): an inference-only compressed graph
+/// built by per-class weighted k-means over propagated node embeddings.
+/// Each original node is assigned to exactly one virtual node (the
+/// "implicit one-to-one mapping" the paper criticizes); virtual features
+/// are the weighted cluster means, and the virtual adjacency aggregates
+/// original edges between clusters, A_v = Pᵀ Â P with row-normalized P —
+/// typically dense, which is why VNG's inference memory exceeds MCond's in
+/// Fig. 3/4.
+///
+/// The GNN itself is trained on the original graph (O→S usage only).
+CondensedGraph RunVng(const Graph& original, int64_t num_virtual,
+                      const VngConfig& config, Rng& rng);
+
+}  // namespace mcond
+
+#endif  // MCOND_VNG_VNG_H_

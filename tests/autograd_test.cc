@@ -1,0 +1,303 @@
+#include "autograd/ops.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "core/tensor_ops.h"
+#include "gradcheck.h"
+
+namespace mcond {
+namespace {
+
+using testing::ExpectGradientsMatch;
+
+Variable Param(Rng& rng, int64_t r, int64_t c, float scale = 1.0f) {
+  return MakeVariable(rng.NormalTensor(r, c, 0.0f, scale),
+                      /*requires_grad=*/true);
+}
+
+TEST(AutogradTest, BackwardRequiresScalar) {
+  Variable v = MakeVariable(Tensor::Ones(2, 2), true);
+  EXPECT_DEATH(Backward(v), "scalar");
+}
+
+TEST(AutogradTest, ConstantGraphIsNoOp) {
+  Variable c = MakeConstant(Tensor::Ones(1, 1));
+  Backward(c);  // Should not crash, nothing trainable.
+  EXPECT_TRUE(c->grad().empty());
+}
+
+TEST(AutogradTest, GradAccumulatesAcrossUses) {
+  Variable x = MakeVariable(Tensor::Ones(1, 1), true);
+  Variable y = ops::Add(x, x);  // dy/dx = 2.
+  Backward(y);
+  EXPECT_FLOAT_EQ(x->grad().At(0, 0), 2.0f);
+}
+
+TEST(AutogradTest, ZeroGradClears) {
+  Variable x = MakeVariable(Tensor::Ones(1, 1), true);
+  Backward(ops::Scale(x, 3.0f));
+  EXPECT_FLOAT_EQ(x->grad().At(0, 0), 3.0f);
+  x->ZeroGrad();
+  EXPECT_TRUE(x->grad().empty());
+}
+
+TEST(AutogradTest, MatMulGradcheck) {
+  Rng rng(1);
+  Variable a = Param(rng, 3, 4);
+  Variable b = Param(rng, 4, 2);
+  ExpectGradientsMatch({a, b}, [&] {
+    return ops::SumAll(ops::MatMul(a, b));
+  });
+}
+
+TEST(AutogradTest, SpMMGradcheck) {
+  Rng rng(2);
+  CsrMatrix s = CsrMatrix::FromTriplets(
+      3, 3, {{0, 1, 2.0f}, {1, 0, -1.0f}, {2, 2, 0.5f}, {0, 0, 1.0f}});
+  Variable x = Param(rng, 3, 2);
+  ExpectGradientsMatch({x}, [&] {
+    return ops::SumAll(ops::Mul(ops::SpMM(s, x), ops::SpMM(s, x)));
+  });
+}
+
+TEST(AutogradTest, AddSubMulGradcheck) {
+  Rng rng(3);
+  Variable a = Param(rng, 2, 3);
+  Variable b = Param(rng, 2, 3);
+  ExpectGradientsMatch({a, b}, [&] {
+    return ops::SumAll(ops::Mul(ops::Add(a, b), ops::Sub(a, b)));
+  });
+}
+
+TEST(AutogradTest, ScaleAddScalarGradcheck) {
+  Rng rng(4);
+  Variable a = Param(rng, 2, 2);
+  ExpectGradientsMatch({a}, [&] {
+    return ops::SumAll(ops::AddScalar(ops::Scale(a, -2.5f), 7.0f));
+  });
+}
+
+TEST(AutogradTest, BroadcastOpsGradcheck) {
+  Rng rng(5);
+  Variable a = Param(rng, 3, 4);
+  Variable row = Param(rng, 1, 4);
+  Variable col = MakeVariable(rng.UniformTensor(3, 1, 0.5f, 2.0f), true);
+  Variable row2 = MakeVariable(rng.UniformTensor(1, 4, 0.5f, 2.0f), true);
+  ExpectGradientsMatch({a, row, col, row2}, [&] {
+    Variable h = ops::AddRowBroadcast(a, row);
+    h = ops::MulRowBroadcast(h, col);
+    h = ops::MulColBroadcast(h, row2);
+    return ops::SumAll(ops::Mul(h, h));
+  });
+}
+
+TEST(AutogradTest, DivRowBroadcastGradcheck) {
+  Rng rng(6);
+  Variable a = Param(rng, 3, 2);
+  Variable col = MakeVariable(rng.UniformTensor(3, 1, 1.0f, 3.0f), true);
+  ExpectGradientsMatch({a, col}, [&] {
+    return ops::SumAll(ops::Mul(ops::DivRowBroadcast(a, col),
+                                ops::DivRowBroadcast(a, col)));
+  });
+}
+
+TEST(AutogradTest, ReluGradcheck) {
+  Rng rng(7);
+  // Keep entries away from the kink for a clean finite-difference check.
+  Tensor v = rng.NormalTensor(3, 3);
+  for (int64_t i = 0; i < v.size(); ++i) {
+    if (std::fabs(v.data()[i]) < 0.1f) v.data()[i] = 0.5f;
+  }
+  Variable a = MakeVariable(v, true);
+  ExpectGradientsMatch({a}, [&] {
+    return ops::SumAll(ops::Mul(ops::Relu(a), ops::Relu(a)));
+  });
+}
+
+TEST(AutogradTest, SigmoidTanhGradcheck) {
+  Rng rng(8);
+  Variable a = Param(rng, 2, 3);
+  ExpectGradientsMatch({a}, [&] {
+    return ops::SumAll(ops::Add(ops::Sigmoid(a), ops::TanhV(a)));
+  });
+}
+
+TEST(AutogradTest, PowGradcheck) {
+  Rng rng(9);
+  Variable a = MakeVariable(rng.UniformTensor(2, 3, 0.5f, 3.0f), true);
+  ExpectGradientsMatch({a}, [&] {
+    return ops::SumAll(ops::PowV(a, -0.5f));
+  });
+}
+
+TEST(AutogradTest, TransposeReshapeGradcheck) {
+  Rng rng(10);
+  Variable a = Param(rng, 2, 6);
+  ExpectGradientsMatch({a}, [&] {
+    Variable t = ops::Transpose(ops::Reshape(a, 3, 4));
+    return ops::SumAll(ops::Mul(t, t));
+  });
+}
+
+TEST(AutogradTest, ConcatSliceGatherGradcheck) {
+  Rng rng(11);
+  Variable a = Param(rng, 2, 3);
+  Variable b = Param(rng, 2, 3);
+  ExpectGradientsMatch({a, b}, [&] {
+    Variable rows = ops::ConcatRows(a, b);           // 4x3
+    Variable cols = ops::ConcatCols(a, b);           // 2x6
+    Variable s = ops::SliceRows(rows, 1, 3);         // 2x3
+    Variable g = ops::GatherRows(rows, {0, 0, 3});   // 3x3 with reuse
+    return ops::Add(ops::SumAll(ops::Mul(s, s)),
+                    ops::Add(ops::SumAll(ops::Mul(g, g)),
+                             ops::SumAll(ops::Mul(cols, cols))));
+  });
+}
+
+TEST(AutogradTest, RowSumMeanGradcheck) {
+  Rng rng(12);
+  Variable a = Param(rng, 3, 4);
+  ExpectGradientsMatch({a}, [&] {
+    Variable r = ops::RowSum(a);
+    return ops::Add(ops::MeanAll(ops::Mul(r, r)), ops::MeanAll(a));
+  });
+}
+
+TEST(AutogradTest, SoftmaxRowsGradcheck) {
+  Rng rng(13);
+  Variable a = Param(rng, 3, 4);
+  Variable weights = MakeConstant(rng.NormalTensor(3, 4));
+  ExpectGradientsMatch({a}, [&] {
+    return ops::SumAll(ops::Mul(ops::SoftmaxRows(a), weights));
+  });
+}
+
+TEST(AutogradTest, SoftmaxCrossEntropyGradcheck) {
+  Rng rng(14);
+  Variable logits = Param(rng, 5, 3);
+  const std::vector<int64_t> labels = {0, 2, 1, 1, 0};
+  ExpectGradientsMatch({logits}, [&] {
+    return ops::SoftmaxCrossEntropy(logits, labels);
+  });
+}
+
+TEST(AutogradTest, SoftmaxCrossEntropyValue) {
+  // Uniform logits over C classes: CE = log(C).
+  Variable logits = MakeVariable(Tensor(4, 3), true);
+  Variable loss = ops::SoftmaxCrossEntropy(logits, {0, 1, 2, 0});
+  EXPECT_NEAR(loss->value().At(0, 0), std::log(3.0f), 1e-5f);
+}
+
+TEST(AutogradTest, L21NormGradcheck) {
+  Rng rng(15);
+  Variable a = Param(rng, 4, 3);
+  ExpectGradientsMatch({a}, [&] { return ops::L21Norm(a); });
+}
+
+TEST(AutogradTest, L21NormValue) {
+  Variable a = MakeVariable(Tensor::FromVector(2, 2, {3, 4, 0, 0}), true);
+  EXPECT_NEAR(ops::L21Norm(a)->value().At(0, 0), 5.0f, 1e-5f);
+}
+
+TEST(AutogradTest, CosineColumnDistanceGradcheck) {
+  Rng rng(16);
+  Variable a = Param(rng, 4, 3);
+  Variable b = Param(rng, 4, 3);
+  ExpectGradientsMatch({a, b}, [&] {
+    return ops::CosineColumnDistance(a, b);
+  });
+}
+
+TEST(AutogradTest, CosineColumnDistanceValues) {
+  // Identical matrices: distance 0 per column.
+  Rng rng(17);
+  Tensor t = rng.NormalTensor(4, 3);
+  Variable a = MakeVariable(t, true);
+  Variable b = MakeConstant(t);
+  EXPECT_NEAR(ops::CosineColumnDistance(a, b)->value().At(0, 0), 0.0f, 1e-4f);
+  // Opposite sign: distance 2 per column.
+  Variable c = MakeConstant(Scale(t, -1.0f));
+  EXPECT_NEAR(ops::CosineColumnDistance(a, c)->value().At(0, 0),
+              2.0f * 3.0f, 1e-4f);
+}
+
+TEST(AutogradTest, CosineColumnDistanceZeroColumnSafe) {
+  Variable a = MakeVariable(Tensor(3, 2), true);  // All-zero columns.
+  Variable b = MakeConstant(Tensor::Ones(3, 2));
+  Variable d = ops::CosineColumnDistance(a, b);
+  EXPECT_NEAR(d->value().At(0, 0), 2.0f, 1e-5f);  // Max distance, 2 columns.
+  Backward(d);
+  EXPECT_EQ(MaxAbs(a->grad()), 0.0f);  // Zero gradient at degenerate columns.
+}
+
+TEST(AutogradTest, RowsDotRowsGradcheck) {
+  Rng rng(18);
+  Variable a = Param(rng, 4, 3);
+  Variable b = Param(rng, 4, 3);
+  ExpectGradientsMatch({a, b}, [&] {
+    Variable d = ops::RowsDotRows(a, b);
+    return ops::SumAll(ops::Mul(d, d));
+  });
+}
+
+TEST(AutogradTest, BceWithLogitsGradcheck) {
+  Rng rng(19);
+  Variable scores = Param(rng, 6, 1);
+  Tensor targets = Tensor::FromVector(6, 1, {1, 0, 1, 1, 0, 0});
+  ExpectGradientsMatch({scores}, [&] {
+    return ops::BceWithLogits(scores, targets);
+  });
+}
+
+TEST(AutogradTest, BceWithLogitsValue) {
+  // score 0 → p=0.5 → loss = log 2 for either target.
+  Variable s = MakeVariable(Tensor(2, 1), true);
+  Tensor t = Tensor::FromVector(2, 1, {1.0f, 0.0f});
+  EXPECT_NEAR(ops::BceWithLogits(s, t)->value().At(0, 0), std::log(2.0f),
+              1e-5f);
+}
+
+TEST(AutogradTest, DropoutTrainingScalesAndMasks) {
+  Rng rng(20);
+  Variable a = MakeVariable(Tensor::Ones(50, 50), true);
+  Variable d = ops::Dropout(a, 0.5f, rng, /*training=*/true);
+  int64_t zeros = 0;
+  for (int64_t i = 0; i < d->value().size(); ++i) {
+    const float v = d->value().data()[i];
+    EXPECT_TRUE(v == 0.0f || std::fabs(v - 2.0f) < 1e-6f);
+    if (v == 0.0f) ++zeros;
+  }
+  EXPECT_GT(zeros, 800);
+  EXPECT_LT(zeros, 1700);
+  // Inference mode: identity, same node returned.
+  Variable e = ops::Dropout(a, 0.5f, rng, /*training=*/false);
+  EXPECT_EQ(e.get(), a.get());
+}
+
+TEST(AutogradTest, DetachStopsGradient) {
+  Variable x = MakeVariable(Tensor::Ones(1, 1), true);
+  Variable y = ops::SumAll(ops::Detach(ops::Scale(x, 5.0f)));
+  Backward(y);
+  EXPECT_TRUE(x->grad().empty());
+}
+
+TEST(AutogradTest, DiamondGraphGradient) {
+  // x used by two paths that rejoin: y = x*x + 3x, dy/dx = 2x + 3.
+  Variable x = MakeVariable(Tensor::Full(1, 1, 2.0f), true);
+  Variable y = ops::Add(ops::Mul(x, x), ops::Scale(x, 3.0f));
+  Backward(ops::SumAll(y));
+  EXPECT_FLOAT_EQ(x->grad().At(0, 0), 7.0f);
+}
+
+TEST(AutogradTest, DeepChainGradient) {
+  // y = 2^10 * x via repeated scaling.
+  Variable x = MakeVariable(Tensor::Ones(1, 1), true);
+  Variable h = x;
+  for (int i = 0; i < 10; ++i) h = ops::Scale(h, 2.0f);
+  Backward(ops::SumAll(h));
+  EXPECT_FLOAT_EQ(x->grad().At(0, 0), 1024.0f);
+}
+
+}  // namespace
+}  // namespace mcond

@@ -1,0 +1,116 @@
+#include "coarsen/coarsening.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace mcond {
+namespace {
+
+Graph TestGraph(uint64_t seed = 91) {
+  SbmConfig config;
+  config.num_nodes = 150;
+  config.num_classes = 3;
+  config.feature_dim = 8;
+  config.avg_degree = 8.0;
+  config.homophily = 0.85;
+  Rng rng(seed);
+  return GenerateSbmGraph(config, rng);
+}
+
+TEST(CoarseningTest, ReachesTargetExactly) {
+  Graph g = TestGraph();
+  Rng rng(1);
+  for (int64_t target : {75, 30, 10, 3}) {
+    CondensedGraph cg = CoarsenGraph(g, target, CoarseningConfig{}, rng);
+    EXPECT_EQ(cg.graph.NumNodes(), target) << "target " << target;
+    EXPECT_EQ(cg.mapping.rows(), g.NumNodes());
+    EXPECT_EQ(cg.mapping.cols(), target);
+  }
+}
+
+TEST(CoarseningTest, MappingIsAPartition) {
+  Graph g = TestGraph();
+  Rng rng(2);
+  CondensedGraph cg = CoarsenGraph(g, 20, CoarseningConfig{}, rng);
+  std::vector<int64_t> sizes(20, 0);
+  for (int64_t i = 0; i < g.NumNodes(); ++i) {
+    ASSERT_EQ(cg.mapping.RowNnz(i), 1);
+    for (int64_t k = cg.mapping.row_ptr()[static_cast<size_t>(i)];
+         k < cg.mapping.row_ptr()[static_cast<size_t>(i) + 1]; ++k) {
+      EXPECT_EQ(cg.mapping.values()[static_cast<size_t>(k)], 1.0f);
+      ++sizes[static_cast<size_t>(
+          cg.mapping.col_idx()[static_cast<size_t>(k)])];
+    }
+  }
+  // Every super-node is non-empty.
+  for (int64_t s : sizes) EXPECT_GE(s, 1);
+}
+
+TEST(CoarseningTest, EdgeMassConserved) {
+  // Pᵀ A P preserves total edge weight; only contracted (intra-cluster)
+  // edges move onto the dropped diagonal.
+  Graph g = TestGraph();
+  Rng rng(3);
+  CondensedGraph cg = CoarsenGraph(g, 40, CoarseningConfig{}, rng);
+  double total_orig = 0.0, total_coarse = 0.0;
+  for (float v : g.adjacency().values()) total_orig += v;
+  for (float v : cg.graph.adjacency().values()) total_coarse += v;
+  EXPECT_LE(total_coarse, total_orig + 1e-3);
+  EXPECT_GT(total_coarse, 0.0);
+}
+
+TEST(CoarseningTest, HomophilousGraphKeepsLabelPurity) {
+  // With strong homophily, heavy-edge matching mostly contracts
+  // within-class edges, so majority labels represent members well.
+  Graph g = TestGraph(92);
+  Rng rng(4);
+  CondensedGraph cg = CoarsenGraph(g, 30, CoarseningConfig{}, rng);
+  int64_t pure = 0, total = 0;
+  for (int64_t i = 0; i < g.NumNodes(); ++i) {
+    const int64_t s = cg.mapping.col_idx()[static_cast<size_t>(
+        cg.mapping.row_ptr()[static_cast<size_t>(i)])];
+    ++total;
+    if (cg.graph.labels()[static_cast<size_t>(s)] ==
+        g.labels()[static_cast<size_t>(i)]) {
+      ++pure;
+    }
+  }
+  EXPECT_GT(static_cast<double>(pure) / total, 0.7);
+}
+
+TEST(CoarseningTest, FeaturesAreMemberMeans) {
+  Graph g = TestGraph();
+  Rng rng(5);
+  CondensedGraph cg = CoarsenGraph(g, 25, CoarseningConfig{}, rng);
+  // Recompute one super-node's mean by hand.
+  const int64_t target = 7;
+  Tensor mean(1, g.FeatureDim());
+  int64_t count = 0;
+  for (int64_t i = 0; i < g.NumNodes(); ++i) {
+    const int64_t s = cg.mapping.col_idx()[static_cast<size_t>(
+        cg.mapping.row_ptr()[static_cast<size_t>(i)])];
+    if (s != target) continue;
+    for (int64_t j = 0; j < g.FeatureDim(); ++j) {
+      mean.At(0, j) += g.features().At(i, j);
+    }
+    ++count;
+  }
+  ASSERT_GT(count, 0);
+  for (int64_t j = 0; j < g.FeatureDim(); ++j) {
+    EXPECT_NEAR(cg.graph.features().At(target, j), mean.At(0, j) / count,
+                1e-4f);
+  }
+}
+
+TEST(CoarseningTest, TargetEqualToSizeIsIdentityPartition) {
+  Graph g = TestGraph();
+  Rng rng(6);
+  CondensedGraph cg =
+      CoarsenGraph(g, g.NumNodes(), CoarseningConfig{}, rng);
+  EXPECT_EQ(cg.graph.NumNodes(), g.NumNodes());
+  EXPECT_EQ(cg.mapping.Nnz(), g.NumNodes());
+}
+
+}  // namespace
+}  // namespace mcond

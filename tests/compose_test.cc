@@ -1,0 +1,65 @@
+#include "graph/compose.h"
+
+#include <gtest/gtest.h>
+
+#include "core/tensor_ops.h"
+
+namespace mcond {
+namespace {
+
+TEST(ComposeTest, BlockLayout) {
+  // base: 2 nodes with one edge; links: 1 incoming node attached to base
+  // node 1; inter: empty.
+  CsrMatrix base =
+      CsrMatrix::FromTriplets(2, 2, {{0, 1, 1.0f}, {1, 0, 1.0f}});
+  CsrMatrix links = CsrMatrix::FromTriplets(1, 2, {{0, 1, 2.0f}});
+  CsrMatrix inter = CsrMatrix::FromTriplets(1, 1, {});
+  CsrMatrix composed = ComposeBlockAdjacency(base, links, inter);
+  ASSERT_EQ(composed.rows(), 3);
+  EXPECT_EQ(composed.At(0, 1), 1.0f);  // Base block preserved.
+  EXPECT_EQ(composed.At(2, 1), 2.0f);  // Bottom-left links.
+  EXPECT_EQ(composed.At(1, 2), 2.0f);  // Top-right = linksᵀ.
+  EXPECT_EQ(composed.At(2, 0), 0.0f);
+  EXPECT_EQ(composed.Nnz(), 4);
+}
+
+TEST(ComposeTest, InterEdgesLandInBottomRight) {
+  CsrMatrix base = CsrMatrix::FromTriplets(1, 1, {});
+  CsrMatrix links = CsrMatrix::FromTriplets(2, 1, {});
+  CsrMatrix inter =
+      CsrMatrix::FromTriplets(2, 2, {{0, 1, 1.0f}, {1, 0, 1.0f}});
+  CsrMatrix composed = ComposeBlockAdjacency(base, links, inter);
+  EXPECT_EQ(composed.At(1, 2), 1.0f);
+  EXPECT_EQ(composed.At(2, 1), 1.0f);
+  EXPECT_EQ(composed.Nnz(), 2);
+}
+
+TEST(ComposeTest, ResultIsSymmetricForSymmetricInputs) {
+  CsrMatrix base = CsrMatrix::FromTriplets(
+      3, 3, {{0, 1, 1.0f}, {1, 0, 1.0f}, {1, 2, 1.0f}, {2, 1, 1.0f}});
+  CsrMatrix links =
+      CsrMatrix::FromTriplets(2, 3, {{0, 0, 1.0f}, {1, 2, 0.5f}});
+  CsrMatrix inter =
+      CsrMatrix::FromTriplets(2, 2, {{0, 1, 1.0f}, {1, 0, 1.0f}});
+  Tensor d = ComposeBlockAdjacency(base, links, inter).ToDense();
+  EXPECT_TRUE(AllClose(d, Transpose(d)));
+}
+
+TEST(ComposeTest, ShapeMismatchDies) {
+  CsrMatrix base = CsrMatrix::FromTriplets(2, 2, {});
+  CsrMatrix links = CsrMatrix::FromTriplets(1, 3, {});
+  CsrMatrix inter = CsrMatrix::FromTriplets(1, 1, {});
+  EXPECT_DEATH(ComposeBlockAdjacency(base, links, inter), "check");
+}
+
+TEST(ComposeTest, ComposeFeaturesStacks) {
+  Tensor base = Tensor::Ones(2, 3);
+  Tensor incoming = Tensor::Full(1, 3, 5.0f);
+  Tensor all = ComposeFeatures(base, incoming);
+  ASSERT_EQ(all.rows(), 3);
+  EXPECT_EQ(all.At(2, 0), 5.0f);
+  EXPECT_EQ(all.At(0, 0), 1.0f);
+}
+
+}  // namespace
+}  // namespace mcond

@@ -1,0 +1,328 @@
+// Unit tests for the condensation building blocks: label allocation,
+// feature initialization, MLP_Φ adjacency generation, dense normalization,
+// relay gradients, gradient matching, and the mapping matrix.
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "autograd/optimizer.h"
+#include "condense/adjacency_generator.h"
+#include "condense/class_distribution.h"
+#include "condense/dense_ops.h"
+#include "condense/gradient_matching.h"
+#include "condense/mapping.h"
+#include "condense/relay_sgc.h"
+#include "core/tensor_ops.h"
+#include "data/synthetic.h"
+#include "gradcheck.h"
+
+namespace mcond {
+namespace {
+
+Graph TestGraph(uint64_t seed = 21, int64_t n = 90, int64_t c = 3) {
+  SbmConfig config;
+  config.num_nodes = n;
+  config.num_classes = c;
+  config.feature_dim = 8;
+  config.avg_degree = 6.0;
+  Rng rng(seed);
+  return GenerateSbmGraph(config, rng);
+}
+
+TEST(ClassDistributionTest, AllocatesProportionallyWithFloor) {
+  Graph g = TestGraph();
+  const std::vector<int64_t> labels = AllocateSyntheticLabels(g, 12);
+  ASSERT_EQ(labels.size(), 12u);
+  std::vector<int64_t> counts(3, 0);
+  for (int64_t y : labels) ++counts[static_cast<size_t>(y)];
+  for (int64_t c : counts) EXPECT_GE(c, 1);
+  // Proportionality: largest class gets at least as many synthetic nodes.
+  const std::vector<int64_t> orig = g.ClassCounts();
+  const int64_t argmax_orig = static_cast<int64_t>(
+      std::max_element(orig.begin(), orig.end()) - orig.begin());
+  const int64_t max_count =
+      *std::max_element(counts.begin(), counts.end());
+  EXPECT_EQ(counts[static_cast<size_t>(argmax_orig)], max_count);
+}
+
+TEST(ClassDistributionTest, LabelsGroupedByClass) {
+  Graph g = TestGraph();
+  const std::vector<int64_t> labels = AllocateSyntheticLabels(g, 10);
+  EXPECT_TRUE(std::is_sorted(labels.begin(), labels.end()));
+}
+
+TEST(ClassDistributionTest, MinimumOnePerClassEnforced) {
+  Graph g = TestGraph(22, 90, 5);
+  EXPECT_DEATH(AllocateSyntheticLabels(g, 3), "at least one");
+  const std::vector<int64_t> labels = AllocateSyntheticLabels(g, 5);
+  std::vector<int64_t> counts(5, 0);
+  for (int64_t y : labels) ++counts[static_cast<size_t>(y)];
+  for (int64_t c : counts) EXPECT_EQ(c, 1);
+}
+
+TEST(ClassDistributionTest, FeatureInitDrawsFromMatchingClass) {
+  Graph g = TestGraph();
+  const std::vector<int64_t> labels = AllocateSyntheticLabels(g, 9);
+  Rng rng(1);
+  Tensor x = InitializeSyntheticFeatures(g, labels, rng);
+  ASSERT_EQ(x.rows(), 9);
+  ASSERT_EQ(x.cols(), g.FeatureDim());
+  // Every synthetic feature must be within jitter distance of some original
+  // node of the same class.
+  for (int64_t s = 0; s < x.rows(); ++s) {
+    float best = 1e30f;
+    for (int64_t i = 0; i < g.NumNodes(); ++i) {
+      if (g.labels()[static_cast<size_t>(i)] !=
+          labels[static_cast<size_t>(s)]) {
+        continue;
+      }
+      float d = 0.0f;
+      for (int64_t j = 0; j < x.cols(); ++j) {
+        const float diff = x.At(s, j) - g.features().At(i, j);
+        d += diff * diff;
+      }
+      best = std::min(best, d);
+    }
+    EXPECT_LT(best, 0.01f);
+  }
+}
+
+TEST(AdjacencyGeneratorTest, OutputSymmetricInUnitRange) {
+  Rng rng(2);
+  AdjacencyGenerator gen(6, 8, rng);
+  Variable x = MakeConstant(rng.NormalTensor(7, 6));
+  Variable a = gen.Forward(x);
+  ASSERT_EQ(a->rows(), 7);
+  ASSERT_EQ(a->cols(), 7);
+  const Tensor& v = a->value();
+  for (int64_t i = 0; i < 7; ++i) {
+    for (int64_t j = 0; j < 7; ++j) {
+      EXPECT_GT(v.At(i, j), 0.0f);
+      EXPECT_LT(v.At(i, j), 1.0f);
+      EXPECT_NEAR(v.At(i, j), v.At(j, i), 1e-6f);
+    }
+  }
+}
+
+TEST(AdjacencyGeneratorTest, GradientsFlowToFeaturesAndPhi) {
+  Rng rng(3);
+  AdjacencyGenerator gen(4, 6, rng);
+  Variable x = MakeVariable(rng.NormalTensor(5, 4), true);
+  std::vector<Variable> params = gen.Parameters();
+  params.push_back(x);
+  // Small eps: MLP_Φ inputs sit near ReLU kinks, so large finite-difference
+  // steps are biased (numeric → analytic as eps shrinks).
+  testing::ExpectGradientsMatch(
+      params, [&] { return ops::SumAll(ops::Mul(gen.Forward(x),
+                                                gen.Forward(x))); },
+      /*eps=*/1e-3f, /*rel_tol=*/0.1f, /*abs_tol=*/5e-3f);
+}
+
+TEST(DenseOpsTest, NormalizeDenseMatchesSparsePath) {
+  Rng rng(4);
+  // Random symmetric nonnegative adjacency.
+  Tensor a(6, 6);
+  for (int64_t i = 0; i < 6; ++i) {
+    for (int64_t j = i + 1; j < 6; ++j) {
+      const float v = rng.Uniform(0.0f, 1.0f);
+      a.At(i, j) = v;
+      a.At(j, i) = v;
+    }
+  }
+  const Tensor dense = NormalizeDenseAdjacency(MakeConstant(a))->value();
+  const Tensor sparse =
+      SymNormalize(CsrMatrix::FromDense(a), /*add_self_loops=*/true)
+          .ToDense();
+  EXPECT_TRUE(AllClose(dense, sparse, 1e-4f, 1e-5f));
+}
+
+TEST(DenseOpsTest, NormalizeDenseGradcheck) {
+  Rng rng(5);
+  Variable a = MakeVariable(rng.UniformTensor(4, 4, 0.1f, 0.9f), true);
+  testing::ExpectGradientsMatch({a}, [&] {
+    Variable n = NormalizeDenseAdjacency(a);
+    return ops::SumAll(ops::Mul(n, n));
+  });
+}
+
+TEST(DenseOpsTest, PropagateDenseDepth) {
+  Tensor a = Tensor::Identity(3);
+  Variable x = MakeConstant(Tensor::Ones(3, 2));
+  Variable h = PropagateDense(MakeConstant(Scale(a, 2.0f)), x, 3);
+  EXPECT_FLOAT_EQ(h->value().At(0, 0), 8.0f);  // (2I)³ x.
+}
+
+TEST(DenseOpsTest, ComposeDenseBlockMatchesSparseCompose) {
+  Rng rng(6);
+  Tensor base = rng.UniformTensor(3, 3, 0.0f, 1.0f);
+  // Symmetrize.
+  base = Scale(Add(base, Transpose(base)), 0.5f);
+  Tensor links = rng.UniformTensor(2, 3, 0.0f, 1.0f);
+  Tensor inter(2, 2);
+  Variable composed = ComposeDenseBlockAdjacency(
+      MakeConstant(base), MakeConstant(links), MakeConstant(inter));
+  // Check the blocks.
+  EXPECT_FLOAT_EQ(composed->value().At(0, 1), base.At(0, 1));
+  EXPECT_FLOAT_EQ(composed->value().At(3, 2), links.At(0, 2));
+  EXPECT_FLOAT_EQ(composed->value().At(2, 3), links.At(0, 2));
+  EXPECT_FLOAT_EQ(composed->value().At(4, 4), 0.0f);
+}
+
+TEST(RelaySgcTest, LogitsShapeAndLinearity) {
+  Rng rng(7);
+  RelaySgc relay(6, 5, 3, 2, rng);
+  Tensor z = rng.NormalTensor(10, 6);
+  Tensor h = relay.LogitsTensor(z);
+  EXPECT_EQ(h.rows(), 10);
+  EXPECT_EQ(h.cols(), 3);
+  // Linear model: f(2z) = 2 f(z).
+  EXPECT_TRUE(AllClose(relay.LogitsTensor(Scale(z, 2.0f)), Scale(h, 2.0f),
+                       1e-4f, 1e-5f));
+}
+
+TEST(RelaySgcTest, AnalyticGradientsMatchAutogradTraining) {
+  // The closed-form weight gradients must equal what backprop through the
+  // CE loss computes.
+  Rng rng(8);
+  RelaySgc relay(4, 3, 2, 2, rng);
+  Tensor z = rng.NormalTensor(6, 4);
+  const std::vector<int64_t> labels = {0, 1, 0, 1, 1, 0};
+  const std::vector<Tensor> analytic =
+      relay.WeightGradientTensors(z, labels);
+
+  const std::vector<Variable> params = relay.Parameters();
+  ZeroGradAll(params);
+  Variable logits = ops::MatMul(
+      ops::MatMul(MakeConstant(z), params[0]), params[1]);
+  Backward(ops::SoftmaxCrossEntropy(logits, labels));
+  EXPECT_TRUE(AllClose(analytic[0], params[0]->grad(), 1e-4f, 1e-6f));
+  EXPECT_TRUE(AllClose(analytic[1], params[1]->grad(), 1e-4f, 1e-6f));
+  ZeroGradAll(params);
+}
+
+TEST(RelaySgcTest, WeightGradientsVariableMatchesTensorPath) {
+  Rng rng(9);
+  RelaySgc relay(4, 3, 2, 2, rng);
+  Tensor z = rng.NormalTensor(5, 4);
+  const std::vector<int64_t> labels = {1, 0, 1, 0, 1};
+  const std::vector<Variable> vars =
+      relay.WeightGradients(MakeConstant(z), labels);
+  const std::vector<Tensor> tensors = relay.WeightGradientTensors(z, labels);
+  ASSERT_EQ(vars.size(), tensors.size());
+  for (size_t i = 0; i < vars.size(); ++i) {
+    EXPECT_TRUE(AllClose(vars[i]->value(), tensors[i], 1e-4f, 1e-6f));
+  }
+}
+
+TEST(RelaySgcTest, WeightGradientsDifferentiableWrtPropagated) {
+  Rng rng(10);
+  RelaySgc relay(3, 3, 2, 2, rng);
+  Variable z = MakeVariable(rng.NormalTensor(4, 3), true);
+  const std::vector<int64_t> labels = {0, 1, 1, 0};
+  testing::ExpectGradientsMatch({z}, [&] {
+    const std::vector<Variable> grads = relay.WeightGradients(z, labels);
+    return ops::Add(ops::SumAll(ops::Mul(grads[0], grads[0])),
+                    ops::SumAll(ops::Mul(grads[1], grads[1])));
+  });
+}
+
+TEST(RelaySgcTest, TrainStepReducesLoss) {
+  Rng rng(11);
+  RelaySgc relay(6, 8, 3, 2, rng);
+  Tensor z = rng.NormalTensor(30, 6);
+  std::vector<int64_t> labels;
+  for (int i = 0; i < 30; ++i) labels.push_back(i % 3);
+  AdamOptimizer opt(relay.Parameters(), 0.05f);
+  const float first = relay.TrainStep(z, labels, opt);
+  float last = first;
+  for (int i = 0; i < 50; ++i) last = relay.TrainStep(z, labels, opt);
+  EXPECT_LT(last, first);
+}
+
+TEST(GradientMatchingTest, ZeroWhenIdentical) {
+  Rng rng(12);
+  Tensor g1 = rng.NormalTensor(4, 3);
+  Tensor g2 = rng.NormalTensor(3, 2);
+  Variable loss = GradientMatchingLoss(
+      {g1, g2}, {MakeConstant(g1), MakeConstant(g2)});
+  EXPECT_NEAR(loss->value().At(0, 0), 0.0f, 1e-4f);
+}
+
+TEST(GradientMatchingTest, MaximalWhenOpposite) {
+  Rng rng(13);
+  Tensor g1 = rng.NormalTensor(4, 3);
+  Variable loss = GradientMatchingLoss(
+      {g1}, {MakeConstant(Scale(g1, -1.0f))});
+  EXPECT_NEAR(loss->value().At(0, 0), 6.0f, 1e-3f);  // 2 per column × 3.
+}
+
+TEST(MappingMatrixTest, NormalizedRowsAreSubStochastic) {
+  MappingConfig config;
+  MappingMatrix m(20, 5, config);
+  Rng rng(14);
+  m.InitializeRandom(rng);
+  Tensor norm = m.NormalizedTensor();
+  for (int64_t i = 0; i < 20; ++i) {
+    float sum = 0.0f;
+    for (int64_t j = 0; j < 5; ++j) {
+      EXPECT_GE(norm.At(i, j), 0.0f);
+      sum += norm.At(i, j);
+    }
+    EXPECT_LE(sum, 1.0f + 1e-4f);
+    EXPECT_GT(sum, 0.9f);  // ε is tiny, so rows stay near-stochastic.
+  }
+}
+
+TEST(MappingMatrixTest, NormalizedVariableMatchesTensorPath) {
+  MappingConfig config;
+  MappingMatrix m(10, 4, config);
+  Rng rng(15);
+  m.InitializeRandom(rng);
+  EXPECT_TRUE(AllClose(m.Normalized()->value(), m.NormalizedTensor(),
+                       1e-5f, 1e-7f));
+}
+
+TEST(MappingMatrixTest, ClassAwareInitFavorsSameClass) {
+  MappingConfig config;
+  MappingMatrix m(6, 4, config);
+  m.InitializeClassAware({0, 0, 1, 1, -1, 0}, {0, 0, 1, 1});
+  Tensor norm = m.NormalizedTensor();
+  // Node 0 (class 0) weights synthetic nodes 0,1 above 2,3.
+  EXPECT_GT(norm.At(0, 0), norm.At(0, 2));
+  // Unlabeled node 4: uniform row.
+  EXPECT_NEAR(norm.At(4, 0), norm.At(4, 3), 1e-5f);
+}
+
+TEST(MappingMatrixTest, NormalizationGradcheck) {
+  MappingConfig config;
+  MappingMatrix m(5, 3, config);
+  Rng rng(16);
+  m.InitializeRandom(rng);
+  testing::ExpectGradientsMatch(m.Parameters(), [&] {
+    Variable n = m.Normalized();
+    return ops::SumAll(ops::Mul(n, n));
+  });
+}
+
+TEST(MappingMatrixTest, SparsifyDropsBelowDelta) {
+  MappingConfig config;
+  MappingMatrix m(8, 4, config);
+  m.InitializeClassAware({0, 0, 1, 1, 0, 1, 0, 1}, {0, 0, 1, 1});
+  const Tensor norm = m.NormalizedTensor();
+  // Pick a delta between the two weight levels in each row.
+  const float low = norm.At(0, 2), high = norm.At(0, 0);
+  ASSERT_LT(low, high);
+  CsrMatrix sparse = m.Sparsify((low + high) / 2.0f);
+  EXPECT_EQ(sparse.Nnz(), 8 * 2);  // Two same-class synthetic nodes per row.
+}
+
+TEST(MappingMatrixTest, EpsilonZeroesTinyWeights) {
+  MappingConfig config;
+  config.epsilon = 0.3f;  // Aggressive: uniform weight 1/4 < ε.
+  MappingMatrix m(3, 4, config);
+  m.InitializeClassAware({-1, -1, -1}, {0, 0, 1, 1});
+  EXPECT_EQ(MaxAbs(m.NormalizedTensor()), 0.0f);
+}
+
+}  // namespace
+}  // namespace mcond

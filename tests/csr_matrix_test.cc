@@ -1,0 +1,158 @@
+#include "core/csr_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "core/tensor_ops.h"
+
+namespace mcond {
+namespace {
+
+CsrMatrix SmallGraph() {
+  // 0-1, 0-2, 1-2 undirected triangle plus isolated node 3.
+  return CsrMatrix::FromTriplets(4, 4,
+                                 {{0, 1, 1.0f},
+                                  {1, 0, 1.0f},
+                                  {0, 2, 1.0f},
+                                  {2, 0, 1.0f},
+                                  {1, 2, 1.0f},
+                                  {2, 1, 1.0f}});
+}
+
+TEST(CsrMatrixTest, EmptyDefault) {
+  CsrMatrix m;
+  EXPECT_EQ(m.rows(), 0);
+  EXPECT_EQ(m.Nnz(), 0);
+}
+
+TEST(CsrMatrixTest, FromTripletsSortsAndLooksUp) {
+  CsrMatrix m = CsrMatrix::FromTriplets(
+      3, 3, {{2, 1, 5.0f}, {0, 2, 1.0f}, {0, 0, 2.0f}});
+  EXPECT_EQ(m.Nnz(), 3);
+  EXPECT_EQ(m.At(0, 0), 2.0f);
+  EXPECT_EQ(m.At(0, 2), 1.0f);
+  EXPECT_EQ(m.At(2, 1), 5.0f);
+  EXPECT_EQ(m.At(1, 1), 0.0f);
+}
+
+TEST(CsrMatrixTest, DuplicatesAreSummed) {
+  CsrMatrix m =
+      CsrMatrix::FromTriplets(2, 2, {{0, 1, 1.0f}, {0, 1, 2.5f}});
+  EXPECT_EQ(m.Nnz(), 1);
+  EXPECT_EQ(m.At(0, 1), 3.5f);
+}
+
+TEST(CsrMatrixTest, OutOfRangeTripletDies) {
+  EXPECT_DEATH(CsrMatrix::FromTriplets(2, 2, {{2, 0, 1.0f}}), "out of");
+}
+
+TEST(CsrMatrixTest, Identity) {
+  CsrMatrix id = CsrMatrix::Identity(3);
+  EXPECT_EQ(id.Nnz(), 3);
+  EXPECT_EQ(id.At(1, 1), 1.0f);
+  EXPECT_EQ(id.At(0, 1), 0.0f);
+}
+
+TEST(CsrMatrixTest, RowNnzAndHasEntry) {
+  CsrMatrix g = SmallGraph();
+  EXPECT_EQ(g.RowNnz(0), 2);
+  EXPECT_EQ(g.RowNnz(3), 0);
+  EXPECT_TRUE(g.HasEntry(1, 2));
+  EXPECT_FALSE(g.HasEntry(3, 0));
+}
+
+TEST(CsrMatrixTest, RowSums) {
+  CsrMatrix g = SmallGraph();
+  const std::vector<float> sums = g.RowSums();
+  EXPECT_EQ(sums[0], 2.0f);
+  EXPECT_EQ(sums[3], 0.0f);
+}
+
+TEST(CsrMatrixTest, SpMMMatchesDense) {
+  Rng rng(7);
+  Tensor dense = rng.NormalTensor(5, 5);
+  // Sparsify ~half the entries.
+  for (int64_t i = 0; i < dense.size(); ++i) {
+    if (rng.Bernoulli(0.5)) dense.data()[i] = 0.0f;
+  }
+  CsrMatrix sparse = CsrMatrix::FromDense(dense);
+  Tensor x = rng.NormalTensor(5, 3);
+  EXPECT_TRUE(AllClose(sparse.SpMM(x), MatMul(dense, x), 1e-4f, 1e-5f));
+}
+
+TEST(CsrMatrixTest, SpMMTransposedMatchesDense) {
+  Rng rng(8);
+  Tensor dense = rng.NormalTensor(4, 6);
+  CsrMatrix sparse = CsrMatrix::FromDense(dense);
+  Tensor x = rng.NormalTensor(4, 2);
+  EXPECT_TRUE(AllClose(sparse.SpMMTransposed(x),
+                       MatMul(Transpose(dense), x), 1e-4f, 1e-5f));
+}
+
+TEST(CsrMatrixTest, TransposeMatchesDense) {
+  Rng rng(9);
+  Tensor dense = rng.NormalTensor(3, 5);
+  CsrMatrix sparse = CsrMatrix::FromDense(dense);
+  EXPECT_TRUE(AllClose(sparse.Transpose().ToDense(), Transpose(dense)));
+}
+
+TEST(CsrMatrixTest, MultiplyMatchesDense) {
+  Rng rng(10);
+  Tensor da = rng.NormalTensor(4, 5);
+  Tensor db = rng.NormalTensor(5, 3);
+  for (int64_t i = 0; i < da.size(); ++i) {
+    if (rng.Bernoulli(0.6)) da.data()[i] = 0.0f;
+  }
+  for (int64_t i = 0; i < db.size(); ++i) {
+    if (rng.Bernoulli(0.6)) db.data()[i] = 0.0f;
+  }
+  CsrMatrix a = CsrMatrix::FromDense(da);
+  CsrMatrix b = CsrMatrix::FromDense(db);
+  EXPECT_TRUE(AllClose(CsrMatrix::Multiply(a, b).ToDense(), MatMul(da, db),
+                       1e-4f, 1e-5f));
+}
+
+TEST(CsrMatrixTest, ToDenseRoundTrip) {
+  CsrMatrix g = SmallGraph();
+  EXPECT_TRUE(AllClose(CsrMatrix::FromDense(g.ToDense()).ToDense(),
+                       g.ToDense()));
+}
+
+TEST(CsrMatrixTest, ScaledMultipliesValues) {
+  CsrMatrix g = SmallGraph().Scaled(2.0f);
+  EXPECT_EQ(g.At(0, 1), 2.0f);
+}
+
+TEST(CsrMatrixTest, ThresholdedDropsSmallEntries) {
+  CsrMatrix m = CsrMatrix::FromTriplets(
+      2, 2, {{0, 0, 0.1f}, {0, 1, 0.5f}, {1, 1, 0.9f}});
+  CsrMatrix t = m.Thresholded(0.5f);
+  EXPECT_EQ(t.Nnz(), 2);
+  EXPECT_EQ(t.At(0, 0), 0.0f);
+  EXPECT_EQ(t.At(0, 1), 0.5f);  // Boundary kept (>= threshold).
+}
+
+TEST(CsrMatrixTest, FromDenseDropTolerance) {
+  Tensor d = Tensor::FromVector(1, 3, {0.0f, 1e-8f, 0.5f});
+  EXPECT_EQ(CsrMatrix::FromDense(d, 1e-6f).Nnz(), 1);
+  EXPECT_EQ(CsrMatrix::FromDense(d, 0.0f).Nnz(), 2);
+}
+
+TEST(CsrMatrixTest, StorageBytesCountsAllArrays) {
+  CsrMatrix g = SmallGraph();
+  const int64_t expect = 6 * 4 + 6 * 4 + 5 * 8;
+  EXPECT_EQ(g.StorageBytes(), expect);
+}
+
+TEST(CsrMatrixTest, EmptyRowsHandled) {
+  CsrMatrix m = CsrMatrix::FromTriplets(5, 5, {{4, 0, 1.0f}});
+  EXPECT_EQ(m.RowNnz(0), 0);
+  EXPECT_EQ(m.RowNnz(4), 1);
+  Tensor x = Tensor::Ones(5, 2);
+  Tensor y = m.SpMM(x);
+  EXPECT_EQ(y.At(0, 0), 0.0f);
+  EXPECT_EQ(y.At(4, 0), 1.0f);
+}
+
+}  // namespace
+}  // namespace mcond

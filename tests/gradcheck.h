@@ -1,0 +1,59 @@
+#ifndef MCOND_TESTS_GRADCHECK_H_
+#define MCOND_TESTS_GRADCHECK_H_
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "autograd/variable.h"
+
+namespace mcond {
+namespace testing {
+
+/// Verifies autograd gradients against central finite differences.
+///
+/// `build_loss` must rebuild the scalar loss graph from the *current*
+/// values of `params` on every call (define-by-run), so perturbing a
+/// parameter entry and re-calling it reevaluates the loss.
+inline void ExpectGradientsMatch(const std::vector<Variable>& params,
+                                 const std::function<Variable()>& build_loss,
+                                 float eps = 1e-2f, float rel_tol = 4e-2f,
+                                 float abs_tol = 2e-3f) {
+  // Analytic gradients.
+  ZeroGradAll(params);
+  Variable loss = build_loss();
+  Backward(loss);
+  std::vector<Tensor> analytic;
+  for (const Variable& p : params) {
+    analytic.push_back(p->grad().empty()
+                           ? Tensor(p->rows(), p->cols())
+                           : p->grad());
+  }
+
+  // Numeric gradients by central differences.
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    Tensor& value = params[pi]->mutable_value();
+    for (int64_t i = 0; i < value.size(); ++i) {
+      float* entry = value.data() + i;
+      const float saved = *entry;
+      *entry = saved + eps;
+      const float plus = build_loss()->value().At(0, 0);
+      *entry = saved - eps;
+      const float minus = build_loss()->value().At(0, 0);
+      *entry = saved;
+      const float numeric = (plus - minus) / (2.0f * eps);
+      const float got = analytic[pi].data()[i];
+      const float tol = abs_tol + rel_tol * std::fabs(numeric);
+      EXPECT_NEAR(got, numeric, tol)
+          << "param " << pi << " entry " << i;
+    }
+  }
+  ZeroGradAll(params);
+}
+
+}  // namespace testing
+}  // namespace mcond
+
+#endif  // MCOND_TESTS_GRADCHECK_H_

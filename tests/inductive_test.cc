@@ -1,0 +1,107 @@
+#include "graph/inductive.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace mcond {
+namespace {
+
+Graph SmallSbm(uint64_t seed = 3) {
+  SbmConfig config;
+  config.num_nodes = 200;
+  config.num_classes = 3;
+  config.feature_dim = 8;
+  config.avg_degree = 8.0;
+  Rng rng(seed);
+  return GenerateSbmGraph(config, rng);
+}
+
+TEST(InductiveSplitTest, PartitionSizes) {
+  Graph full = SmallSbm();
+  Rng rng(1);
+  InductiveDataset ds = MakeInductiveSplit(full, 0.15, 0.2, rng, "t");
+  EXPECT_EQ(ds.val.size(), 30);
+  EXPECT_EQ(ds.test.size(), 40);
+  EXPECT_EQ(ds.train_graph.NumNodes(), 130);
+  EXPECT_EQ(ds.name, "t");
+}
+
+TEST(InductiveSplitTest, LinkShapesMatchTrainGraph) {
+  Graph full = SmallSbm();
+  Rng rng(2);
+  InductiveDataset ds = MakeInductiveSplit(full, 0.1, 0.1, rng);
+  EXPECT_EQ(ds.val.links.rows(), ds.val.size());
+  EXPECT_EQ(ds.val.links.cols(), ds.train_graph.NumNodes());
+  EXPECT_EQ(ds.test.inter.rows(), ds.test.size());
+  EXPECT_EQ(ds.test.inter.cols(), ds.test.size());
+  EXPECT_EQ(ds.test.features.cols(), full.FeatureDim());
+}
+
+TEST(InductiveSplitTest, EdgeCountsAreConserved) {
+  // Every full-graph edge lands in exactly one bucket (train-train,
+  // held-train, held-held within a partition) or is dropped (val-test).
+  Graph full = SmallSbm();
+  Rng rng(3);
+  InductiveDataset ds = MakeInductiveSplit(full, 0.2, 0.2, rng);
+  const int64_t total =
+      ds.train_graph.NumEdges() + 2 * ds.val.links.Nnz() +
+      2 * ds.test.links.Nnz() + ds.val.inter.Nnz() + ds.test.inter.Nnz();
+  EXPECT_LE(total, full.NumEdges());
+  // Dropped val-test edges are typically few; the rest must be conserved.
+  EXPECT_GT(total, full.NumEdges() * 8 / 10);
+}
+
+TEST(InductiveSplitTest, InterEdgesAreSymmetric) {
+  Graph full = SmallSbm();
+  Rng rng(4);
+  InductiveDataset ds = MakeInductiveSplit(full, 0.2, 0.2, rng);
+  const CsrMatrix& inter = ds.test.inter;
+  for (int64_t i = 0; i < inter.rows(); ++i) {
+    for (int64_t k = inter.row_ptr()[static_cast<size_t>(i)];
+         k < inter.row_ptr()[static_cast<size_t>(i) + 1]; ++k) {
+      const int64_t j = inter.col_idx()[static_cast<size_t>(k)];
+      EXPECT_TRUE(inter.HasEntry(j, i));
+    }
+  }
+}
+
+TEST(InductiveSplitTest, LabelsAlignWithFullGraph) {
+  Graph full = SmallSbm();
+  Rng rng(5);
+  InductiveDataset ds = MakeInductiveSplit(full, 0.1, 0.1, rng);
+  // Every label must be a valid class (the generator labels all nodes).
+  for (int64_t y : ds.test.labels) {
+    EXPECT_GE(y, 0);
+    EXPECT_LT(y, full.num_classes());
+  }
+}
+
+TEST(InductiveSplitTest, WithoutInterEdgesZeroesOnlyInter) {
+  Graph full = SmallSbm();
+  Rng rng(6);
+  InductiveDataset ds = MakeInductiveSplit(full, 0.2, 0.2, rng);
+  HeldOutBatch node_batch = ds.test.WithoutInterEdges();
+  EXPECT_EQ(node_batch.inter.Nnz(), 0);
+  EXPECT_EQ(node_batch.links.Nnz(), ds.test.links.Nnz());
+  EXPECT_EQ(node_batch.size(), ds.test.size());
+}
+
+TEST(InductiveSplitTest, DeterministicInSeed) {
+  Graph full = SmallSbm();
+  Rng rng_a(7);
+  Rng rng_b(7);
+  InductiveDataset a = MakeInductiveSplit(full, 0.1, 0.1, rng_a);
+  InductiveDataset b = MakeInductiveSplit(full, 0.1, 0.1, rng_b);
+  EXPECT_EQ(a.train_graph.NumEdges(), b.train_graph.NumEdges());
+  EXPECT_EQ(a.test.labels, b.test.labels);
+}
+
+TEST(InductiveSplitTest, BadFractionsDie) {
+  Graph full = SmallSbm();
+  Rng rng(8);
+  EXPECT_DEATH(MakeInductiveSplit(full, 0.6, 0.6, rng), "fraction");
+}
+
+}  // namespace
+}  // namespace mcond

@@ -1,0 +1,99 @@
+#include "autograd/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "autograd/ops.h"
+#include "core/rng.h"
+#include "core/tensor_ops.h"
+
+namespace mcond {
+namespace {
+
+/// Minimizes ||x - target||² and returns the final distance.
+template <typename Opt>
+float MinimizeQuadratic(Opt& opt, const Variable& x, const Tensor& target,
+                        int steps) {
+  for (int i = 0; i < steps; ++i) {
+    Variable diff = ops::Sub(x, MakeConstant(target));
+    Variable loss = ops::SumAll(ops::Mul(diff, diff));
+    opt.ZeroGrad();
+    Backward(loss);
+    opt.Step();
+  }
+  return MaxAbsDiff(x->value(), target);
+}
+
+TEST(SgdOptimizerTest, ConvergesOnQuadratic) {
+  Rng rng(1);
+  Variable x = MakeVariable(rng.NormalTensor(3, 3), true);
+  Tensor target = rng.NormalTensor(3, 3);
+  SgdOptimizer opt({x}, 0.1f);
+  EXPECT_LT(MinimizeQuadratic(opt, x, target, 100), 1e-4f);
+}
+
+TEST(AdamOptimizerTest, ConvergesOnQuadratic) {
+  Rng rng(2);
+  Variable x = MakeVariable(rng.NormalTensor(3, 3), true);
+  Tensor target = rng.NormalTensor(3, 3);
+  AdamOptimizer opt({x}, 0.05f);
+  EXPECT_LT(MinimizeQuadratic(opt, x, target, 300), 1e-3f);
+}
+
+TEST(AdamOptimizerTest, FirstStepHasLearningRateMagnitude) {
+  // With bias correction, the first Adam step is ≈ lr * sign(grad).
+  Variable x = MakeVariable(Tensor::Full(1, 1, 1.0f), true);
+  AdamOptimizer opt({x}, 0.1f);
+  Variable loss = ops::SumAll(ops::Mul(x, x));
+  opt.ZeroGrad();
+  Backward(loss);
+  opt.Step();
+  EXPECT_NEAR(x->value().At(0, 0), 0.9f, 1e-4f);
+}
+
+TEST(OptimizerTest, SkipsParamsWithoutGradient) {
+  Variable used = MakeVariable(Tensor::Ones(1, 1), true);
+  Variable unused = MakeVariable(Tensor::Ones(1, 1), true);
+  SgdOptimizer opt({used, unused}, 0.5f);
+  Variable loss = ops::SumAll(used);
+  opt.ZeroGrad();
+  Backward(loss);
+  opt.Step();
+  EXPECT_FLOAT_EQ(used->value().At(0, 0), 0.5f);
+  EXPECT_FLOAT_EQ(unused->value().At(0, 0), 1.0f);
+}
+
+TEST(OptimizerTest, StepClearsGradients) {
+  Variable x = MakeVariable(Tensor::Ones(1, 1), true);
+  SgdOptimizer opt({x}, 0.1f);
+  Backward(ops::SumAll(x));
+  opt.Step();
+  EXPECT_TRUE(x->grad().empty());
+}
+
+TEST(OptimizerTest, WeightDecayShrinksWeights) {
+  // With zero task gradient, decay alone should shrink the value.
+  Variable x = MakeVariable(Tensor::Full(1, 1, 1.0f), true);
+  SgdOptimizer opt({x}, 0.1f, /*weight_decay=*/1.0f);
+  Variable loss = ops::SumAll(ops::Scale(x, 0.0f));
+  opt.ZeroGrad();
+  Backward(loss);
+  opt.Step();
+  EXPECT_NEAR(x->value().At(0, 0), 0.9f, 1e-5f);
+}
+
+TEST(AdamOptimizerTest, HandlesSparseUpdatePattern) {
+  // A parameter that only sometimes receives gradients must not blow up.
+  Variable x = MakeVariable(Tensor::Full(1, 1, 1.0f), true);
+  AdamOptimizer opt({x}, 0.01f);
+  for (int i = 0; i < 20; ++i) {
+    if (i % 3 == 0) {
+      opt.ZeroGrad();
+      Backward(ops::SumAll(ops::Mul(x, x)));
+    }
+    opt.Step();
+  }
+  EXPECT_TRUE(x->value().AllFinite());
+}
+
+}  // namespace
+}  // namespace mcond

@@ -1,0 +1,94 @@
+#include "propagation/error_propagation.h"
+#include "propagation/label_propagation.h"
+
+#include <gtest/gtest.h>
+
+#include "core/tensor_ops.h"
+#include "graph/graph.h"
+#include "nn/metrics.h"
+
+namespace mcond {
+namespace {
+
+/// Two triangles joined by one edge: nodes 0-2 form community A, 3-5 form
+/// community B.
+CsrMatrix TwoCommunities() {
+  std::vector<Triplet> t;
+  auto add = [&t](int64_t a, int64_t b) {
+    t.push_back({a, b, 1.0f});
+    t.push_back({b, a, 1.0f});
+  };
+  add(0, 1);
+  add(1, 2);
+  add(0, 2);
+  add(3, 4);
+  add(4, 5);
+  add(3, 5);
+  add(2, 3);
+  return CsrMatrix::FromTriplets(6, 6, std::move(t));
+}
+
+TEST(PropagationTest, SignalStaysFiniteAndShaped) {
+  CsrMatrix norm = SymNormalize(TwoCommunities());
+  Tensor seed = OneHot({0, -1, -1, -1, -1, 1}, 2);
+  Tensor out = PropagateSignal(norm, seed, 0.9f, 20);
+  EXPECT_EQ(out.rows(), 6);
+  EXPECT_EQ(out.cols(), 2);
+  EXPECT_TRUE(out.AllFinite());
+}
+
+TEST(PropagationTest, ZeroAlphaReturnsSeed) {
+  CsrMatrix norm = SymNormalize(TwoCommunities());
+  Tensor seed = OneHot({0, 1, 0, 1, 0, 1}, 2);
+  EXPECT_TRUE(AllClose(PropagateSignal(norm, seed, 0.0f, 5), seed));
+}
+
+TEST(LabelPropagationTest, LabelsFlowAlongCommunities) {
+  CsrMatrix norm = SymNormalize(TwoCommunities());
+  // Seed one node per community; unlabeled nodes must adopt their
+  // community's class.
+  Tensor seed = OneHot({0, -1, -1, -1, -1, 1}, 2);
+  Tensor scores = LabelPropagation(norm, seed, 0.9f, 30);
+  const std::vector<int64_t> pred = ArgmaxRows(scores);
+  EXPECT_EQ(pred[1], 0);
+  EXPECT_EQ(pred[2], 0);
+  EXPECT_EQ(pred[3], 1);
+  EXPECT_EQ(pred[4], 1);
+}
+
+TEST(ErrorPropagationTest, PerfectPredictionsStayPut) {
+  CsrMatrix norm = SymNormalize(TwoCommunities());
+  // Extremely confident correct logits: residuals ≈ 0 → no change.
+  Tensor logits(6, 2);
+  const std::vector<int64_t> labels = {0, 0, 0, 1, 1, 1};
+  for (int64_t i = 0; i < 6; ++i) {
+    logits.At(i, labels[static_cast<size_t>(i)]) = 50.0f;
+  }
+  Tensor out = ErrorPropagation(norm, logits, labels, 0.9f, 10, 1.0f);
+  EXPECT_EQ(ArgmaxRows(out), labels);
+}
+
+TEST(ErrorPropagationTest, CorrectsNeighborOfMislabeledNode) {
+  CsrMatrix norm = SymNormalize(TwoCommunities());
+  // The model predicts class 0 everywhere; known labels say nodes 3-5 are
+  // class 1 but only 3 and 5 are known. EP must pull node 4 toward class 1.
+  Tensor logits(6, 2);
+  for (int64_t i = 0; i < 6; ++i) logits.At(i, 0) = 2.0f;
+  const std::vector<int64_t> known = {0, 0, 0, 1, -1, 1};
+  Tensor out = ErrorPropagation(norm, logits, known, 0.9f, 20, 2.0f);
+  EXPECT_EQ(ArgmaxRows(out)[4], 1);
+  // Community A's unlabeled... all labeled there; node 1 stays class 0.
+  EXPECT_EQ(ArgmaxRows(out)[1], 0);
+}
+
+TEST(ErrorPropagationTest, GammaZeroIsIdentityOnProbs) {
+  CsrMatrix norm = SymNormalize(TwoCommunities());
+  Tensor logits = Tensor::FromVector(
+      6, 2, {1, 0, 0, 1, 2, 0, 0, 2, 1, 1, 3, 0});
+  const std::vector<int64_t> known = {0, 1, 0, 1, -1, -1};
+  Tensor out = ErrorPropagation(norm, logits, known, 0.9f, 10, 0.0f);
+  EXPECT_TRUE(AllClose(out, SoftmaxRows(logits)));
+}
+
+}  // namespace
+}  // namespace mcond

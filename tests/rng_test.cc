@@ -1,0 +1,120 @@
+#include "core/rng.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace mcond {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.RandInt(0, 1000), b.RandInt(0, 1000));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.RandInt(0, 1 << 20) == b.RandInt(0, 1 << 20)) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    const float u = rng.Uniform(2.0f, 5.0f);
+    EXPECT_GE(u, 2.0f);
+    EXPECT_LT(u, 5.0f);
+  }
+}
+
+TEST(RngTest, RandIntInclusiveBounds) {
+  Rng rng(4);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 300; ++i) seen.insert(rng.RandInt(0, 3));
+  EXPECT_EQ(seen.size(), 4u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 3);
+}
+
+TEST(RngTest, RandIntBadRangeDies) {
+  Rng rng(5);
+  EXPECT_DEATH(rng.RandInt(3, 1), "check");
+}
+
+TEST(RngTest, NormalMomentsRoughlyCorrect) {
+  Rng rng(6);
+  double sum = 0.0, sq = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    const float x = rng.Normal(2.0f, 3.0f);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.2);
+  EXPECT_NEAR(var, 9.0, 0.8);
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(7);
+  int hits = 0;
+  for (int i = 0; i < 2000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_GT(hits, 500);
+  EXPECT_LT(hits, 700);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(8);
+  const std::vector<int64_t> s = rng.SampleWithoutReplacement(100, 30);
+  EXPECT_EQ(s.size(), 30u);
+  std::set<int64_t> distinct(s.begin(), s.end());
+  EXPECT_EQ(distinct.size(), 30u);
+  for (int64_t v : s) {
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 100);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFullSet) {
+  Rng rng(9);
+  const std::vector<int64_t> s = rng.SampleWithoutReplacement(10, 10);
+  std::set<int64_t> distinct(s.begin(), s.end());
+  EXPECT_EQ(distinct.size(), 10u);
+  EXPECT_DEATH(rng.SampleWithoutReplacement(5, 6), "sample");
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(10);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, orig);
+}
+
+TEST(RngTest, TensorGenerators) {
+  Rng rng(11);
+  Tensor n = rng.NormalTensor(10, 10, 1.0f, 0.5f);
+  EXPECT_TRUE(n.AllFinite());
+  Tensor u = rng.UniformTensor(5, 5, -1.0f, 1.0f);
+  for (int64_t i = 0; i < u.size(); ++i) {
+    EXPECT_GE(u.data()[i], -1.0f);
+    EXPECT_LT(u.data()[i], 1.0f);
+  }
+  Tensor g = rng.GlorotTensor(100, 100);
+  const float limit = std::sqrt(6.0f / 200.0f);
+  for (int64_t i = 0; i < g.size(); ++i) {
+    EXPECT_LE(std::fabs(g.data()[i]), limit);
+  }
+}
+
+}  // namespace
+}  // namespace mcond

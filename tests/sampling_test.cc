@@ -1,0 +1,76 @@
+#include "graph/sampling.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace mcond {
+namespace {
+
+CsrMatrix RingGraph(int64_t n) {
+  std::vector<Triplet> t;
+  for (int64_t i = 0; i < n; ++i) {
+    t.push_back({i, (i + 1) % n, 1.0f});
+    t.push_back({(i + 1) % n, i, 1.0f});
+  }
+  return CsrMatrix::FromTriplets(n, n, std::move(t));
+}
+
+TEST(SamplingTest, PositiveSamplesAreEdges) {
+  CsrMatrix g = RingGraph(20);
+  Rng rng(1);
+  EdgeBatch batch = SampleEdgeBatch(g, 15, 0, rng);
+  ASSERT_EQ(batch.size(), 15);
+  for (int64_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(batch.target[static_cast<size_t>(i)], 1.0f);
+    EXPECT_TRUE(g.HasEntry(batch.src[static_cast<size_t>(i)],
+                           batch.dst[static_cast<size_t>(i)]));
+  }
+}
+
+TEST(SamplingTest, NegativeSamplesAreNonEdges) {
+  CsrMatrix g = RingGraph(20);
+  Rng rng(2);
+  EdgeBatch batch = SampleEdgeBatch(g, 0, 25, rng);
+  ASSERT_EQ(batch.size(), 25);
+  for (int64_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(batch.target[static_cast<size_t>(i)], 0.0f);
+    EXPECT_FALSE(g.HasEntry(batch.src[static_cast<size_t>(i)],
+                            batch.dst[static_cast<size_t>(i)]));
+    EXPECT_NE(batch.src[static_cast<size_t>(i)],
+              batch.dst[static_cast<size_t>(i)]);
+  }
+}
+
+TEST(SamplingTest, RequestingMorePositivesThanEdgesReturnsAll) {
+  CsrMatrix g = RingGraph(5);  // 10 directed entries.
+  Rng rng(3);
+  EdgeBatch batch = SampleEdgeBatch(g, 100, 0, rng);
+  EXPECT_EQ(batch.size(), 10);
+}
+
+TEST(SamplingTest, MixedBatchHasBothTargets) {
+  CsrMatrix g = RingGraph(30);
+  Rng rng(4);
+  EdgeBatch batch = SampleEdgeBatch(g, 10, 10, rng);
+  int64_t pos = 0, neg = 0;
+  for (float t : batch.target) (t > 0.5f ? pos : neg)++;
+  EXPECT_EQ(pos, 10);
+  EXPECT_EQ(neg, 10);
+}
+
+TEST(SamplingTest, EmptyGraphProducesEmptyBatch) {
+  CsrMatrix g = CsrMatrix::FromTriplets(0, 0, {});
+  Rng rng(5);
+  EXPECT_EQ(SampleEdgeBatch(g, 5, 5, rng).size(), 0);
+}
+
+TEST(SamplingTest, EdgelessGraphStillProducesNegatives) {
+  CsrMatrix g = CsrMatrix::FromTriplets(10, 10, {});
+  Rng rng(6);
+  EdgeBatch batch = SampleEdgeBatch(g, 5, 7, rng);
+  EXPECT_EQ(batch.size(), 7);  // No positives possible.
+}
+
+}  // namespace
+}  // namespace mcond

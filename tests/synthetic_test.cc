@@ -1,0 +1,197 @@
+#include "data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include "core/tensor_ops.h"
+#include "data/datasets.h"
+
+namespace mcond {
+namespace {
+
+TEST(SyntheticTest, ShapesAndLabelRange) {
+  SbmConfig config;
+  config.num_nodes = 150;
+  config.num_classes = 4;
+  config.feature_dim = 12;
+  Rng rng(1);
+  Graph g = GenerateSbmGraph(config, rng);
+  EXPECT_EQ(g.NumNodes(), 150);
+  EXPECT_EQ(g.FeatureDim(), 12);
+  for (int64_t y : g.labels()) {
+    EXPECT_GE(y, 0);
+    EXPECT_LT(y, 4);
+  }
+}
+
+TEST(SyntheticTest, EveryClassPopulated) {
+  SbmConfig config;
+  config.num_nodes = 100;
+  config.num_classes = 8;
+  config.class_imbalance = 1.5;  // Heavy skew.
+  Rng rng(2);
+  Graph g = GenerateSbmGraph(config, rng);
+  for (int64_t count : g.ClassCounts()) EXPECT_GE(count, 1);
+}
+
+TEST(SyntheticTest, AdjacencyIsSymmetricNoSelfLoops) {
+  SbmConfig config;
+  config.num_nodes = 120;
+  Rng rng(3);
+  Graph g = GenerateSbmGraph(config, rng);
+  const CsrMatrix& a = g.adjacency();
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    EXPECT_FALSE(a.HasEntry(i, i));
+    for (int64_t k = a.row_ptr()[static_cast<size_t>(i)];
+         k < a.row_ptr()[static_cast<size_t>(i) + 1]; ++k) {
+      EXPECT_TRUE(a.HasEntry(a.col_idx()[static_cast<size_t>(k)], i));
+    }
+  }
+}
+
+TEST(SyntheticTest, AverageDegreeRoughlyMatches) {
+  SbmConfig config;
+  config.num_nodes = 800;
+  config.avg_degree = 12.0;
+  Rng rng(4);
+  Graph g = GenerateSbmGraph(config, rng);
+  const double avg =
+      static_cast<double>(g.NumEdges()) / static_cast<double>(g.NumNodes());
+  EXPECT_GT(avg, 8.0);
+  EXPECT_LT(avg, 13.0);
+}
+
+TEST(SyntheticTest, HomophilyControlsIntraClassEdgeFraction) {
+  auto intra_fraction = [](double homophily, uint64_t seed) {
+    SbmConfig config;
+    config.num_nodes = 600;
+    config.num_classes = 4;
+    config.homophily = homophily;
+    config.avg_degree = 10.0;
+    Rng rng(seed);
+    Graph g = GenerateSbmGraph(config, rng);
+    int64_t intra = 0, total = 0;
+    const CsrMatrix& a = g.adjacency();
+    for (int64_t i = 0; i < a.rows(); ++i) {
+      for (int64_t k = a.row_ptr()[static_cast<size_t>(i)];
+           k < a.row_ptr()[static_cast<size_t>(i) + 1]; ++k) {
+        ++total;
+        if (g.labels()[static_cast<size_t>(i)] ==
+            g.labels()[static_cast<size_t>(
+                a.col_idx()[static_cast<size_t>(k)])]) {
+          ++intra;
+        }
+      }
+    }
+    return static_cast<double>(intra) / static_cast<double>(total);
+  };
+  EXPECT_GT(intra_fraction(0.9, 5), 0.75);
+  EXPECT_LT(intra_fraction(0.1, 6), 0.5);
+}
+
+TEST(SyntheticTest, LabelRateMasksLabels) {
+  SbmConfig config;
+  config.num_nodes = 500;
+  config.num_classes = 3;
+  config.label_rate = 0.1;
+  Rng rng(7);
+  Graph g = GenerateSbmGraph(config, rng);
+  const int64_t labeled = static_cast<int64_t>(g.LabeledNodes().size());
+  EXPECT_GE(labeled, 50);
+  EXPECT_LE(labeled, 60);  // Rate plus the per-class floor.
+  for (int64_t count : g.ClassCounts()) EXPECT_GE(count, 1);
+}
+
+TEST(SyntheticTest, FeatureNoiseControlsClassSeparability) {
+  // With tiny noise, same-class features are far closer to their class mean
+  // than to other classes' means.
+  SbmConfig config;
+  config.num_nodes = 300;
+  config.num_classes = 3;
+  config.feature_dim = 16;
+  config.feature_noise = 0.05;
+  Rng rng(8);
+  Graph g = GenerateSbmGraph(config, rng);
+  // Class means.
+  Tensor means(3, 16);
+  std::vector<int64_t> counts(3, 0);
+  for (int64_t i = 0; i < g.NumNodes(); ++i) {
+    const int64_t y = g.labels()[static_cast<size_t>(i)];
+    AxpyInPlace(means, 0.0f, means);  // No-op keeps the loop simple.
+    for (int64_t j = 0; j < 16; ++j) {
+      means.At(y, j) += g.features().At(i, j);
+    }
+    ++counts[static_cast<size_t>(y)];
+  }
+  for (int64_t c = 0; c < 3; ++c) {
+    for (int64_t j = 0; j < 16; ++j) {
+      means.At(c, j) /= static_cast<float>(counts[static_cast<size_t>(c)]);
+    }
+  }
+  int64_t correct = 0;
+  for (int64_t i = 0; i < g.NumNodes(); ++i) {
+    int64_t best = 0;
+    float best_d = 1e30f;
+    for (int64_t c = 0; c < 3; ++c) {
+      float d = 0.0f;
+      for (int64_t j = 0; j < 16; ++j) {
+        const float diff = g.features().At(i, j) - means.At(c, j);
+        d += diff * diff;
+      }
+      if (d < best_d) {
+        best_d = d;
+        best = c;
+      }
+    }
+    if (best == g.labels()[static_cast<size_t>(i)]) ++correct;
+  }
+  EXPECT_GT(correct, g.NumNodes() * 95 / 100);
+}
+
+TEST(SyntheticTest, DeterministicInSeed) {
+  SbmConfig config;
+  config.num_nodes = 100;
+  Rng a(9), b(9);
+  Graph ga = GenerateSbmGraph(config, a);
+  Graph gb = GenerateSbmGraph(config, b);
+  EXPECT_EQ(ga.NumEdges(), gb.NumEdges());
+  EXPECT_TRUE(AllClose(ga.features(), gb.features()));
+  EXPECT_EQ(ga.labels(), gb.labels());
+}
+
+TEST(DatasetRegistryTest, AllSpecsPresent) {
+  const auto& specs = AllDatasetSpecs();
+  ASSERT_EQ(specs.size(), 4u);
+  EXPECT_TRUE(FindDatasetSpec("pubmed-sim").ok());
+  EXPECT_TRUE(FindDatasetSpec("flickr-sim").ok());
+  EXPECT_TRUE(FindDatasetSpec("reddit-sim").ok());
+  EXPECT_TRUE(FindDatasetSpec("tiny-sim").ok());
+  EXPECT_FALSE(FindDatasetSpec("nope").ok());
+  EXPECT_EQ(FindDatasetSpec("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(DatasetRegistryTest, MakeDatasetByNameWorks) {
+  InductiveDataset ds = MakeDatasetByName("tiny-sim", 3);
+  EXPECT_GT(ds.train_graph.NumNodes(), 0);
+  EXPECT_GT(ds.test.size(), 0);
+  EXPECT_EQ(ds.name, "tiny-sim");
+}
+
+TEST(DatasetRegistryTest, RedditDensestPubmedSparsest) {
+  // The density ordering drives every timing result in the paper.
+  const auto pub = FindDatasetSpec("pubmed-sim").value();
+  const auto fli = FindDatasetSpec("flickr-sim").value();
+  const auto red = FindDatasetSpec("reddit-sim").value();
+  EXPECT_LT(pub.sbm.avg_degree, fli.sbm.avg_degree);
+  EXPECT_LT(fli.sbm.avg_degree, red.sbm.avg_degree);
+}
+
+TEST(DatasetRegistryTest, SyntheticNodeCountFloorsAtClassCount) {
+  InductiveDataset ds = MakeDatasetByName("tiny-sim", 4);
+  EXPECT_EQ(SyntheticNodeCount(ds.train_graph, 1e-9),
+            ds.train_graph.num_classes());
+  EXPECT_GT(SyntheticNodeCount(ds.train_graph, 0.5),
+            ds.train_graph.num_classes());
+}
+
+}  // namespace
+}  // namespace mcond

@@ -1,0 +1,118 @@
+#include "core/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace mcond {
+namespace {
+
+TEST(TensorTest, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_EQ(t.rows(), 0);
+  EXPECT_EQ(t.cols(), 0);
+  EXPECT_EQ(t.size(), 0);
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(TensorTest, ConstructedZeroFilled) {
+  Tensor t(3, 4);
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 4);
+  EXPECT_EQ(t.size(), 12);
+  for (int64_t i = 0; i < 3; ++i) {
+    for (int64_t j = 0; j < 4; ++j) EXPECT_EQ(t.At(i, j), 0.0f);
+  }
+}
+
+TEST(TensorTest, AtReadWrite) {
+  Tensor t(2, 2);
+  t.At(0, 1) = 5.0f;
+  t.At(1, 0) = -2.0f;
+  EXPECT_EQ(t.At(0, 1), 5.0f);
+  EXPECT_EQ(t.At(1, 0), -2.0f);
+  EXPECT_EQ(t.At(0, 0), 0.0f);
+}
+
+TEST(TensorTest, RowMajorLayout) {
+  Tensor t(2, 3);
+  for (int64_t i = 0; i < 2; ++i) {
+    for (int64_t j = 0; j < 3; ++j) {
+      t.At(i, j) = static_cast<float>(i * 3 + j);
+    }
+  }
+  const float* p = t.data();
+  for (int64_t k = 0; k < 6; ++k) EXPECT_EQ(p[k], static_cast<float>(k));
+  EXPECT_EQ(t.RowData(1)[0], 3.0f);
+}
+
+TEST(TensorTest, FullAndOnes) {
+  Tensor f = Tensor::Full(2, 2, 7.5f);
+  EXPECT_EQ(f.At(1, 1), 7.5f);
+  Tensor o = Tensor::Ones(1, 3);
+  EXPECT_EQ(o.At(0, 2), 1.0f);
+}
+
+TEST(TensorTest, Identity) {
+  Tensor id = Tensor::Identity(3);
+  for (int64_t i = 0; i < 3; ++i) {
+    for (int64_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(id.At(i, j), i == j ? 1.0f : 0.0f);
+    }
+  }
+}
+
+TEST(TensorTest, FromVector) {
+  Tensor t = Tensor::FromVector(2, 2, {1.0f, 2.0f, 3.0f, 4.0f});
+  EXPECT_EQ(t.At(0, 0), 1.0f);
+  EXPECT_EQ(t.At(0, 1), 2.0f);
+  EXPECT_EQ(t.At(1, 0), 3.0f);
+  EXPECT_EQ(t.At(1, 1), 4.0f);
+}
+
+TEST(TensorTest, FromVectorSizeMismatchDies) {
+  EXPECT_DEATH(Tensor::FromVector(2, 2, {1.0f}), "check failed");
+}
+
+TEST(TensorTest, OutOfRangeAccessDies) {
+  Tensor t(2, 2);
+  EXPECT_DEATH(t.At(2, 0), "out of");
+  EXPECT_DEATH(t.At(0, -1), "out of");
+}
+
+TEST(TensorTest, FillAndSetZero) {
+  Tensor t(2, 2);
+  t.Fill(3.0f);
+  EXPECT_EQ(t.At(1, 1), 3.0f);
+  t.SetZero();
+  EXPECT_EQ(t.At(1, 1), 0.0f);
+}
+
+TEST(TensorTest, AllFinite) {
+  Tensor t(2, 2);
+  EXPECT_TRUE(t.AllFinite());
+  t.At(0, 0) = std::numeric_limits<float>::infinity();
+  EXPECT_FALSE(t.AllFinite());
+  t.At(0, 0) = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_FALSE(t.AllFinite());
+}
+
+TEST(TensorTest, SameShape) {
+  EXPECT_TRUE(Tensor(2, 3).SameShape(Tensor(2, 3)));
+  EXPECT_FALSE(Tensor(2, 3).SameShape(Tensor(3, 2)));
+}
+
+TEST(TensorTest, DebugStringTruncates) {
+  Tensor t = Tensor::Ones(10, 10);
+  const std::string s = t.DebugString(4);
+  EXPECT_NE(s.find("Tensor(10x10)"), std::string::npos);
+  EXPECT_NE(s.find("..."), std::string::npos);
+}
+
+TEST(TensorTest, CopyIsDeep) {
+  Tensor a = Tensor::Ones(2, 2);
+  Tensor b = a;
+  b.At(0, 0) = 9.0f;
+  EXPECT_EQ(a.At(0, 0), 1.0f);
+}
+
+}  // namespace
+}  // namespace mcond

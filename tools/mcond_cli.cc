@@ -1,0 +1,206 @@
+// Command-line front end for the MCond workflow:
+//
+//   mcond_cli datasets
+//       List the built-in simulated datasets.
+//   mcond_cli condense --dataset reddit-sim --ratio 0.02 --out S.bin
+//       Run Algorithm 1 and write the condensed artifact.
+//   mcond_cli inspect S.bin
+//       Print artifact statistics.
+//   mcond_cli serve --dataset reddit-sim --artifact S.bin [--node-batch]
+//       Train SGC on the artifact and serve the dataset's test batch,
+//       reporting accuracy / latency / memory vs the original graph.
+//
+// Exit code 0 on success; errors print a Status message to stderr.
+
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <numeric>
+#include <string>
+
+#include "condense/artifact_io.h"
+#include "condense/mcond.h"
+#include "data/datasets.h"
+#include "eval/inference.h"
+#include "nn/trainer.h"
+
+namespace mcond {
+namespace {
+
+/// Minimal --key value flag parser; positional args collected in order.
+struct Args {
+  std::map<std::string, std::string> flags;
+  std::vector<std::string> positional;
+};
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const std::string key = arg.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        args.flags[key] = argv[++i];
+      } else {
+        args.flags[key] = "1";  // Boolean flag.
+      }
+    } else {
+      args.positional.push_back(arg);
+    }
+  }
+  return args;
+}
+
+std::string FlagOr(const Args& args, const std::string& key,
+                   const std::string& fallback) {
+  const auto it = args.flags.find(key);
+  return it == args.flags.end() ? fallback : it->second;
+}
+
+int CmdDatasets() {
+  std::cout << "name         nodes   classes  feat  avg-deg  ratios\n";
+  for (const DatasetSpec& spec : AllDatasetSpecs()) {
+    std::cout << spec.name;
+    for (size_t i = spec.name.size(); i < 13; ++i) std::cout << ' ';
+    std::cout << spec.sbm.num_nodes << "    " << spec.sbm.num_classes
+              << "        " << spec.sbm.feature_dim << "    "
+              << spec.sbm.avg_degree << "     ";
+    for (double r : spec.reduction_ratios) std::cout << r << " ";
+    std::cout << "\n";
+  }
+  return 0;
+}
+
+int CmdCondense(const Args& args) {
+  const std::string dataset = FlagOr(args, "dataset", "tiny-sim");
+  const double ratio = std::stod(FlagOr(args, "ratio", "0.05"));
+  const uint64_t seed = std::stoull(FlagOr(args, "seed", "1"));
+  const std::string out = FlagOr(args, "out", "condensed.bin");
+  StatusOr<DatasetSpec> spec = FindDatasetSpec(dataset);
+  if (!spec.ok()) {
+    std::cerr << spec.status().ToString() << "\n";
+    return 1;
+  }
+  DatasetSpec s = spec.value();
+  if (args.flags.count("epochs") > 0) {
+    s.condensation_epochs = std::stoll(args.flags.at("epochs"));
+  }
+  InductiveDataset data = MakeDataset(s, seed);
+  const int64_t n_syn = SyntheticNodeCount(data.train_graph, ratio);
+  std::cout << "condensing " << data.train_graph.NumNodes() << " nodes -> "
+            << n_syn << " synthetic nodes (" << s.condensation_epochs
+            << " epochs)...\n";
+  MCondConfig config;
+  config.outer_rounds =
+      std::max<int64_t>(1, s.condensation_epochs / 15);
+  config.verbose = args.flags.count("verbose") > 0;
+  MCondResult result =
+      RunMCond(data.train_graph, data.val, n_syn, config, seed);
+  Status status = SaveCondensedGraph(out, result.condensed);
+  if (!status.ok()) {
+    std::cerr << status.ToString() << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << out << " ("
+            << result.condensed.StorageBytes() / 1024 << " KB; "
+            << result.condensed.graph.NumEdges() << " edges, mapping nnz "
+            << result.condensed.mapping.Nnz() << ")\n";
+  return 0;
+}
+
+int CmdInspect(const Args& args) {
+  if (args.positional.empty()) {
+    std::cerr << "usage: mcond_cli inspect <artifact>\n";
+    return 1;
+  }
+  StatusOr<CondensedGraph> loaded = LoadCondensedGraph(args.positional[0]);
+  if (!loaded.ok()) {
+    std::cerr << loaded.status().ToString() << "\n";
+    return 1;
+  }
+  const CondensedGraph& cg = loaded.value();
+  std::cout << "synthetic nodes:   " << cg.graph.NumNodes() << "\n";
+  std::cout << "synthetic edges:   " << cg.graph.NumEdges() << "\n";
+  std::cout << "feature dim:       " << cg.graph.FeatureDim() << "\n";
+  std::cout << "classes:           " << cg.graph.num_classes() << "\n";
+  std::cout << "mapping:           " << cg.mapping.rows() << " x "
+            << cg.mapping.cols() << ", nnz " << cg.mapping.Nnz() << "\n";
+  std::cout << "storage:           " << cg.StorageBytes() / 1024 << " KB\n";
+  const std::vector<int64_t> counts = cg.graph.ClassCounts();
+  std::cout << "class counts:      ";
+  for (int64_t c : counts) std::cout << c << " ";
+  std::cout << "\n";
+  return 0;
+}
+
+int CmdServe(const Args& args) {
+  const std::string dataset = FlagOr(args, "dataset", "tiny-sim");
+  const std::string artifact = FlagOr(args, "artifact", "condensed.bin");
+  const uint64_t seed = std::stoull(FlagOr(args, "seed", "1"));
+  const bool graph_batch = args.flags.count("node-batch") == 0;
+  StatusOr<CondensedGraph> loaded = LoadCondensedGraph(artifact);
+  if (!loaded.ok()) {
+    std::cerr << loaded.status().ToString() << "\n";
+    return 1;
+  }
+  const CondensedGraph& cg = loaded.value();
+  InductiveDataset data = MakeDatasetByName(dataset, seed);
+  if (cg.mapping.rows() != data.train_graph.NumNodes()) {
+    std::cerr << "artifact was condensed from a different graph (mapping "
+                 "has "
+              << cg.mapping.rows() << " rows, dataset has "
+              << data.train_graph.NumNodes() << " train nodes)\n";
+    return 1;
+  }
+  Rng rng(seed + 1);
+  GnnConfig gc;
+  std::unique_ptr<GnnModel> model =
+      MakeGnn(GnnArch::kSgc, cg.graph.FeatureDim(), cg.graph.num_classes(),
+              gc, rng);
+  GraphOperators syn_ops = GraphOperators::FromGraph(cg.graph);
+  std::vector<int64_t> all(cg.graph.NumNodes());
+  std::iota(all.begin(), all.end(), 0);
+  TrainConfig tc;
+  tc.epochs = 300;
+  TrainNodeClassifier(*model, syn_ops, cg.graph.features(),
+                      cg.graph.labels(), all, tc, rng);
+  InferenceResult on_syn =
+      ServeOnCondensed(*model, cg, data.test, graph_batch, rng, 3);
+  InferenceResult on_orig = ServeOnOriginal(*model, data.train_graph,
+                                            data.test, graph_batch, rng, 3);
+  std::cout << (graph_batch ? "graph" : "node") << "-batch serving of "
+            << data.test.size() << " inductive nodes\n";
+  std::cout << "  synthetic: acc " << on_syn.accuracy << ", "
+            << on_syn.seconds * 1e3 << " ms, "
+            << on_syn.memory_bytes / 1024 << " KB\n";
+  std::cout << "  original:  acc " << on_orig.accuracy << ", "
+            << on_orig.seconds * 1e3 << " ms, "
+            << on_orig.memory_bytes / 1024 << " KB\n";
+  std::cout << "  speedup " << on_orig.seconds / on_syn.seconds
+            << "x, memory saving "
+            << static_cast<double>(on_orig.memory_bytes) /
+                   on_syn.memory_bytes
+            << "x\n";
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: mcond_cli <datasets|condense|inspect|serve> "
+                 "[flags]\n";
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  const Args args = ParseArgs(argc, argv);
+  if (cmd == "datasets") return CmdDatasets();
+  if (cmd == "condense") return CmdCondense(args);
+  if (cmd == "inspect") return CmdInspect(args);
+  if (cmd == "serve") return CmdServe(args);
+  std::cerr << "unknown command: " << cmd << "\n";
+  return 1;
+}
+
+}  // namespace
+}  // namespace mcond
+
+int main(int argc, char** argv) { return mcond::Run(argc, argv); }
