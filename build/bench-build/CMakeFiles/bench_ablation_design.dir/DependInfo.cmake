@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_design.cc" "bench-build/CMakeFiles/bench_ablation_design.dir/bench_ablation_design.cc.o" "gcc" "bench-build/CMakeFiles/bench_ablation_design.dir/bench_ablation_design.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench-build/CMakeFiles/mcond_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/coarsen/CMakeFiles/mcond_coarsen.dir/DependInfo.cmake"
+  "/root/repo/build/src/coreset/CMakeFiles/mcond_coreset.dir/DependInfo.cmake"
+  "/root/repo/build/src/vng/CMakeFiles/mcond_vng.dir/DependInfo.cmake"
+  "/root/repo/build/src/propagation/CMakeFiles/mcond_propagation.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/mcond_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/condense/CMakeFiles/mcond_condense.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/mcond_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/mcond_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/mcond_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mcond_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mcond_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

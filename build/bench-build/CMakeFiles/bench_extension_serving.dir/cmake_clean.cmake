@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_extension_serving"
+  "../bench/bench_extension_serving.pdb"
+  "CMakeFiles/bench_extension_serving.dir/bench_extension_serving.cc.o"
+  "CMakeFiles/bench_extension_serving.dir/bench_extension_serving.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_mapping"
+  "../bench/bench_fig5_mapping.pdb"
+  "CMakeFiles/bench_fig5_mapping.dir/bench_fig5_mapping.cc.o"
+  "CMakeFiles/bench_fig5_mapping.dir/bench_fig5_mapping.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_mapping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

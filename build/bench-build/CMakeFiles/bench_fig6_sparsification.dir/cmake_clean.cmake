@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_sparsification"
+  "../bench/bench_fig6_sparsification.pdb"
+  "CMakeFiles/bench_fig6_sparsification.dir/bench_fig6_sparsification.cc.o"
+  "CMakeFiles/bench_fig6_sparsification.dir/bench_fig6_sparsification.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_sparsification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

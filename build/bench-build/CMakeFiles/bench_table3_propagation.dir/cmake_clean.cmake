@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_propagation"
+  "../bench/bench_table3_propagation.pdb"
+  "CMakeFiles/bench_table3_propagation.dir/bench_table3_propagation.cc.o"
+  "CMakeFiles/bench_table3_propagation.dir/bench_table3_propagation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table4_architectures"
+  "../bench/bench_table4_architectures.pdb"
+  "CMakeFiles/bench_table4_architectures.dir/bench_table4_architectures.cc.o"
+  "CMakeFiles/bench_table4_architectures.dir/bench_table4_architectures.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_architectures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

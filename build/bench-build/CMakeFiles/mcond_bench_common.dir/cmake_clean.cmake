@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcond_bench_common.dir/common.cc.o"
+  "CMakeFiles/mcond_bench_common.dir/common.cc.o.d"
+  "libmcond_bench_common.a"
+  "libmcond_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcond_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/architecture_zoo.dir/architecture_zoo.cpp.o"
+  "CMakeFiles/architecture_zoo.dir/architecture_zoo.cpp.o.d"
+  "architecture_zoo"
+  "architecture_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/architecture_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

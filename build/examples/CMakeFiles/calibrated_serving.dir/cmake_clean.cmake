@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibrated_serving.dir/calibrated_serving.cpp.o"
+  "CMakeFiles/calibrated_serving.dir/calibrated_serving.cpp.o.d"
+  "calibrated_serving"
+  "calibrated_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibrated_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inductive_serving.dir/inductive_serving.cpp.o"
+  "CMakeFiles/inductive_serving.dir/inductive_serving.cpp.o.d"
+  "inductive_serving"
+  "inductive_serving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inductive_serving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

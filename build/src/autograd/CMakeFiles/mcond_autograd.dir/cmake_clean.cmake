@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcond_autograd.dir/ops.cc.o"
+  "CMakeFiles/mcond_autograd.dir/ops.cc.o.d"
+  "CMakeFiles/mcond_autograd.dir/optimizer.cc.o"
+  "CMakeFiles/mcond_autograd.dir/optimizer.cc.o.d"
+  "CMakeFiles/mcond_autograd.dir/variable.cc.o"
+  "CMakeFiles/mcond_autograd.dir/variable.cc.o.d"
+  "libmcond_autograd.a"
+  "libmcond_autograd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcond_autograd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

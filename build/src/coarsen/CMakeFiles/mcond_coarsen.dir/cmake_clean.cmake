@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcond_coarsen.dir/coarsening.cc.o"
+  "CMakeFiles/mcond_coarsen.dir/coarsening.cc.o.d"
+  "libmcond_coarsen.a"
+  "libmcond_coarsen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcond_coarsen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

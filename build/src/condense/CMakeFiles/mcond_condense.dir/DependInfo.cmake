@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/condense/adjacency_generator.cc" "src/condense/CMakeFiles/mcond_condense.dir/adjacency_generator.cc.o" "gcc" "src/condense/CMakeFiles/mcond_condense.dir/adjacency_generator.cc.o.d"
+  "/root/repo/src/condense/artifact_io.cc" "src/condense/CMakeFiles/mcond_condense.dir/artifact_io.cc.o" "gcc" "src/condense/CMakeFiles/mcond_condense.dir/artifact_io.cc.o.d"
+  "/root/repo/src/condense/class_distribution.cc" "src/condense/CMakeFiles/mcond_condense.dir/class_distribution.cc.o" "gcc" "src/condense/CMakeFiles/mcond_condense.dir/class_distribution.cc.o.d"
+  "/root/repo/src/condense/dense_ops.cc" "src/condense/CMakeFiles/mcond_condense.dir/dense_ops.cc.o" "gcc" "src/condense/CMakeFiles/mcond_condense.dir/dense_ops.cc.o.d"
+  "/root/repo/src/condense/gcond.cc" "src/condense/CMakeFiles/mcond_condense.dir/gcond.cc.o" "gcc" "src/condense/CMakeFiles/mcond_condense.dir/gcond.cc.o.d"
+  "/root/repo/src/condense/gradient_matching.cc" "src/condense/CMakeFiles/mcond_condense.dir/gradient_matching.cc.o" "gcc" "src/condense/CMakeFiles/mcond_condense.dir/gradient_matching.cc.o.d"
+  "/root/repo/src/condense/mapping.cc" "src/condense/CMakeFiles/mcond_condense.dir/mapping.cc.o" "gcc" "src/condense/CMakeFiles/mcond_condense.dir/mapping.cc.o.d"
+  "/root/repo/src/condense/mcond.cc" "src/condense/CMakeFiles/mcond_condense.dir/mcond.cc.o" "gcc" "src/condense/CMakeFiles/mcond_condense.dir/mcond.cc.o.d"
+  "/root/repo/src/condense/relay_sgc.cc" "src/condense/CMakeFiles/mcond_condense.dir/relay_sgc.cc.o" "gcc" "src/condense/CMakeFiles/mcond_condense.dir/relay_sgc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/mcond_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/mcond_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/mcond_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mcond_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mcond_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

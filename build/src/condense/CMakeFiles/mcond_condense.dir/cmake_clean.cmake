@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcond_condense.dir/adjacency_generator.cc.o"
+  "CMakeFiles/mcond_condense.dir/adjacency_generator.cc.o.d"
+  "CMakeFiles/mcond_condense.dir/artifact_io.cc.o"
+  "CMakeFiles/mcond_condense.dir/artifact_io.cc.o.d"
+  "CMakeFiles/mcond_condense.dir/class_distribution.cc.o"
+  "CMakeFiles/mcond_condense.dir/class_distribution.cc.o.d"
+  "CMakeFiles/mcond_condense.dir/dense_ops.cc.o"
+  "CMakeFiles/mcond_condense.dir/dense_ops.cc.o.d"
+  "CMakeFiles/mcond_condense.dir/gcond.cc.o"
+  "CMakeFiles/mcond_condense.dir/gcond.cc.o.d"
+  "CMakeFiles/mcond_condense.dir/gradient_matching.cc.o"
+  "CMakeFiles/mcond_condense.dir/gradient_matching.cc.o.d"
+  "CMakeFiles/mcond_condense.dir/mapping.cc.o"
+  "CMakeFiles/mcond_condense.dir/mapping.cc.o.d"
+  "CMakeFiles/mcond_condense.dir/mcond.cc.o"
+  "CMakeFiles/mcond_condense.dir/mcond.cc.o.d"
+  "CMakeFiles/mcond_condense.dir/relay_sgc.cc.o"
+  "CMakeFiles/mcond_condense.dir/relay_sgc.cc.o.d"
+  "libmcond_condense.a"
+  "libmcond_condense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcond_condense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

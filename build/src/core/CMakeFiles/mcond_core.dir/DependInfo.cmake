@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/csr_matrix.cc" "src/core/CMakeFiles/mcond_core.dir/csr_matrix.cc.o" "gcc" "src/core/CMakeFiles/mcond_core.dir/csr_matrix.cc.o.d"
+  "/root/repo/src/core/rng.cc" "src/core/CMakeFiles/mcond_core.dir/rng.cc.o" "gcc" "src/core/CMakeFiles/mcond_core.dir/rng.cc.o.d"
+  "/root/repo/src/core/serialize.cc" "src/core/CMakeFiles/mcond_core.dir/serialize.cc.o" "gcc" "src/core/CMakeFiles/mcond_core.dir/serialize.cc.o.d"
+  "/root/repo/src/core/status.cc" "src/core/CMakeFiles/mcond_core.dir/status.cc.o" "gcc" "src/core/CMakeFiles/mcond_core.dir/status.cc.o.d"
+  "/root/repo/src/core/tensor.cc" "src/core/CMakeFiles/mcond_core.dir/tensor.cc.o" "gcc" "src/core/CMakeFiles/mcond_core.dir/tensor.cc.o.d"
+  "/root/repo/src/core/tensor_ops.cc" "src/core/CMakeFiles/mcond_core.dir/tensor_ops.cc.o" "gcc" "src/core/CMakeFiles/mcond_core.dir/tensor_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcond_core.dir/csr_matrix.cc.o"
+  "CMakeFiles/mcond_core.dir/csr_matrix.cc.o.d"
+  "CMakeFiles/mcond_core.dir/rng.cc.o"
+  "CMakeFiles/mcond_core.dir/rng.cc.o.d"
+  "CMakeFiles/mcond_core.dir/serialize.cc.o"
+  "CMakeFiles/mcond_core.dir/serialize.cc.o.d"
+  "CMakeFiles/mcond_core.dir/status.cc.o"
+  "CMakeFiles/mcond_core.dir/status.cc.o.d"
+  "CMakeFiles/mcond_core.dir/tensor.cc.o"
+  "CMakeFiles/mcond_core.dir/tensor.cc.o.d"
+  "CMakeFiles/mcond_core.dir/tensor_ops.cc.o"
+  "CMakeFiles/mcond_core.dir/tensor_ops.cc.o.d"
+  "libmcond_core.a"
+  "libmcond_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcond_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

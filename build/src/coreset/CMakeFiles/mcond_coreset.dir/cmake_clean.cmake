@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcond_coreset.dir/coreset.cc.o"
+  "CMakeFiles/mcond_coreset.dir/coreset.cc.o.d"
+  "libmcond_coreset.a"
+  "libmcond_coreset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcond_coreset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmcond_coreset.a"
+)

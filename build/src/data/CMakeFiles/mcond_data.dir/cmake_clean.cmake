@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcond_data.dir/datasets.cc.o"
+  "CMakeFiles/mcond_data.dir/datasets.cc.o.d"
+  "CMakeFiles/mcond_data.dir/synthetic.cc.o"
+  "CMakeFiles/mcond_data.dir/synthetic.cc.o.d"
+  "libmcond_data.a"
+  "libmcond_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcond_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

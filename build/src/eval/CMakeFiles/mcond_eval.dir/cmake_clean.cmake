@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcond_eval.dir/batching.cc.o"
+  "CMakeFiles/mcond_eval.dir/batching.cc.o.d"
+  "CMakeFiles/mcond_eval.dir/experiment.cc.o"
+  "CMakeFiles/mcond_eval.dir/experiment.cc.o.d"
+  "CMakeFiles/mcond_eval.dir/inference.cc.o"
+  "CMakeFiles/mcond_eval.dir/inference.cc.o.d"
+  "CMakeFiles/mcond_eval.dir/serving_cache.cc.o"
+  "CMakeFiles/mcond_eval.dir/serving_cache.cc.o.d"
+  "libmcond_eval.a"
+  "libmcond_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcond_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

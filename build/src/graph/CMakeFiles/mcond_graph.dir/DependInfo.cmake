@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/compose.cc" "src/graph/CMakeFiles/mcond_graph.dir/compose.cc.o" "gcc" "src/graph/CMakeFiles/mcond_graph.dir/compose.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/graph/CMakeFiles/mcond_graph.dir/graph.cc.o" "gcc" "src/graph/CMakeFiles/mcond_graph.dir/graph.cc.o.d"
+  "/root/repo/src/graph/inductive.cc" "src/graph/CMakeFiles/mcond_graph.dir/inductive.cc.o" "gcc" "src/graph/CMakeFiles/mcond_graph.dir/inductive.cc.o.d"
+  "/root/repo/src/graph/sampling.cc" "src/graph/CMakeFiles/mcond_graph.dir/sampling.cc.o" "gcc" "src/graph/CMakeFiles/mcond_graph.dir/sampling.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mcond_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

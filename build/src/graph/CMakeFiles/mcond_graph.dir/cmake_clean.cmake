@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcond_graph.dir/compose.cc.o"
+  "CMakeFiles/mcond_graph.dir/compose.cc.o.d"
+  "CMakeFiles/mcond_graph.dir/graph.cc.o"
+  "CMakeFiles/mcond_graph.dir/graph.cc.o.d"
+  "CMakeFiles/mcond_graph.dir/inductive.cc.o"
+  "CMakeFiles/mcond_graph.dir/inductive.cc.o.d"
+  "CMakeFiles/mcond_graph.dir/sampling.cc.o"
+  "CMakeFiles/mcond_graph.dir/sampling.cc.o.d"
+  "libmcond_graph.a"
+  "libmcond_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcond_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/appnp.cc" "src/nn/CMakeFiles/mcond_nn.dir/appnp.cc.o" "gcc" "src/nn/CMakeFiles/mcond_nn.dir/appnp.cc.o.d"
+  "/root/repo/src/nn/cheby.cc" "src/nn/CMakeFiles/mcond_nn.dir/cheby.cc.o" "gcc" "src/nn/CMakeFiles/mcond_nn.dir/cheby.cc.o.d"
+  "/root/repo/src/nn/gcn.cc" "src/nn/CMakeFiles/mcond_nn.dir/gcn.cc.o" "gcc" "src/nn/CMakeFiles/mcond_nn.dir/gcn.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/nn/CMakeFiles/mcond_nn.dir/linear.cc.o" "gcc" "src/nn/CMakeFiles/mcond_nn.dir/linear.cc.o.d"
+  "/root/repo/src/nn/metrics.cc" "src/nn/CMakeFiles/mcond_nn.dir/metrics.cc.o" "gcc" "src/nn/CMakeFiles/mcond_nn.dir/metrics.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/nn/CMakeFiles/mcond_nn.dir/module.cc.o" "gcc" "src/nn/CMakeFiles/mcond_nn.dir/module.cc.o.d"
+  "/root/repo/src/nn/sage.cc" "src/nn/CMakeFiles/mcond_nn.dir/sage.cc.o" "gcc" "src/nn/CMakeFiles/mcond_nn.dir/sage.cc.o.d"
+  "/root/repo/src/nn/sgc.cc" "src/nn/CMakeFiles/mcond_nn.dir/sgc.cc.o" "gcc" "src/nn/CMakeFiles/mcond_nn.dir/sgc.cc.o.d"
+  "/root/repo/src/nn/trainer.cc" "src/nn/CMakeFiles/mcond_nn.dir/trainer.cc.o" "gcc" "src/nn/CMakeFiles/mcond_nn.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/autograd/CMakeFiles/mcond_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mcond_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mcond_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

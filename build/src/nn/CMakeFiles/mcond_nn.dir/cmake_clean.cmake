@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcond_nn.dir/appnp.cc.o"
+  "CMakeFiles/mcond_nn.dir/appnp.cc.o.d"
+  "CMakeFiles/mcond_nn.dir/cheby.cc.o"
+  "CMakeFiles/mcond_nn.dir/cheby.cc.o.d"
+  "CMakeFiles/mcond_nn.dir/gcn.cc.o"
+  "CMakeFiles/mcond_nn.dir/gcn.cc.o.d"
+  "CMakeFiles/mcond_nn.dir/linear.cc.o"
+  "CMakeFiles/mcond_nn.dir/linear.cc.o.d"
+  "CMakeFiles/mcond_nn.dir/metrics.cc.o"
+  "CMakeFiles/mcond_nn.dir/metrics.cc.o.d"
+  "CMakeFiles/mcond_nn.dir/module.cc.o"
+  "CMakeFiles/mcond_nn.dir/module.cc.o.d"
+  "CMakeFiles/mcond_nn.dir/sage.cc.o"
+  "CMakeFiles/mcond_nn.dir/sage.cc.o.d"
+  "CMakeFiles/mcond_nn.dir/sgc.cc.o"
+  "CMakeFiles/mcond_nn.dir/sgc.cc.o.d"
+  "CMakeFiles/mcond_nn.dir/trainer.cc.o"
+  "CMakeFiles/mcond_nn.dir/trainer.cc.o.d"
+  "libmcond_nn.a"
+  "libmcond_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcond_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/propagation/correct_and_smooth.cc" "src/propagation/CMakeFiles/mcond_propagation.dir/correct_and_smooth.cc.o" "gcc" "src/propagation/CMakeFiles/mcond_propagation.dir/correct_and_smooth.cc.o.d"
+  "/root/repo/src/propagation/error_propagation.cc" "src/propagation/CMakeFiles/mcond_propagation.dir/error_propagation.cc.o" "gcc" "src/propagation/CMakeFiles/mcond_propagation.dir/error_propagation.cc.o.d"
+  "/root/repo/src/propagation/label_propagation.cc" "src/propagation/CMakeFiles/mcond_propagation.dir/label_propagation.cc.o" "gcc" "src/propagation/CMakeFiles/mcond_propagation.dir/label_propagation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/mcond_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/autograd/CMakeFiles/mcond_autograd.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/mcond_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mcond_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcond_propagation.dir/correct_and_smooth.cc.o"
+  "CMakeFiles/mcond_propagation.dir/correct_and_smooth.cc.o.d"
+  "CMakeFiles/mcond_propagation.dir/error_propagation.cc.o"
+  "CMakeFiles/mcond_propagation.dir/error_propagation.cc.o.d"
+  "CMakeFiles/mcond_propagation.dir/label_propagation.cc.o"
+  "CMakeFiles/mcond_propagation.dir/label_propagation.cc.o.d"
+  "libmcond_propagation.a"
+  "libmcond_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcond_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcond_vng.dir/vng.cc.o"
+  "CMakeFiles/mcond_vng.dir/vng.cc.o.d"
+  "libmcond_vng.a"
+  "libmcond_vng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcond_vng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mcond_vng.
+# This may be replaced when dependencies are built.

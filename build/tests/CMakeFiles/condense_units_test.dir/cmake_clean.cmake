@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/condense_units_test.dir/condense_units_test.cc.o"
+  "CMakeFiles/condense_units_test.dir/condense_units_test.cc.o.d"
+  "condense_units_test"
+  "condense_units_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/condense_units_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inductive_test.dir/inductive_test.cc.o"
+  "CMakeFiles/inductive_test.dir/inductive_test.cc.o.d"
+  "inductive_test"
+  "inductive_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inductive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

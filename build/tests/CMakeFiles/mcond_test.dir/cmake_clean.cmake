@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcond_test.dir/mcond_test.cc.o"
+  "CMakeFiles/mcond_test.dir/mcond_test.cc.o.d"
+  "mcond_test"
+  "mcond_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcond_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serving_extras_test.dir/serving_extras_test.cc.o"
+  "CMakeFiles/serving_extras_test.dir/serving_extras_test.cc.o.d"
+  "serving_extras_test"
+  "serving_extras_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serving_extras_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vng_test.dir/vng_test.cc.o"
+  "CMakeFiles/vng_test.dir/vng_test.cc.o.d"
+  "vng_test"
+  "vng_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vng_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

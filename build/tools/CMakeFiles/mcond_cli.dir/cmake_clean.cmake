@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcond_cli.dir/mcond_cli.cc.o"
+  "CMakeFiles/mcond_cli.dir/mcond_cli.cc.o.d"
+  "mcond_cli"
+  "mcond_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcond_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
