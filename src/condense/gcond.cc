@@ -1,9 +1,15 @@
 #include "condense/gcond.h"
 
+#include "obs/log.h"
+#include "obs/trace.h"
+
 namespace mcond {
 
 MCondResult RunGCond(const Graph& original, int64_t num_synthetic,
                      const MCondConfig& base_config, uint64_t seed) {
+  MCOND_TRACE_SPAN("condense.gcond");
+  MCOND_VLOG(1) << "gcond: mapping/structure/inductive losses disabled ("
+                << num_synthetic << " synthetic nodes)";
   MCondConfig config = base_config;
   config.learn_mapping = false;
   config.use_structure_loss = false;

@@ -1,9 +1,12 @@
 #include "condense/gradient_matching.h"
 
+#include "obs/trace.h"
+
 namespace mcond {
 
 Variable GradientMatchingLoss(const std::vector<Tensor>& grads_original,
                               const std::vector<Variable>& grads_synthetic) {
+  MCOND_TRACE_SPAN("condense.gradient_matching_loss");
   MCOND_CHECK_EQ(grads_original.size(), grads_synthetic.size());
   MCOND_CHECK(!grads_original.empty());
   Variable total;

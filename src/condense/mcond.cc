@@ -1,7 +1,5 @@
 #include "condense/mcond.h"
 
-#include <iostream>
-
 #include "autograd/optimizer.h"
 #include "condense/adjacency_generator.h"
 #include "condense/class_distribution.h"
@@ -11,6 +9,9 @@
 #include "core/tensor_ops.h"
 #include "graph/compose.h"
 #include "graph/sampling.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mcond {
 
@@ -113,7 +114,18 @@ MCondResult RunMCond(const Graph& original, const HeldOutBatch& support,
   MCondResult result;
   result.synthetic_labels = synthetic_labels;
 
+  obs::Series& loss_s_series = obs::GetSeries("mcond.condense.loss_s");
+  obs::Series& loss_str_series = obs::GetSeries("mcond.condense.loss_str");
+  obs::Series& loss_m_series = obs::GetSeries("mcond.condense.loss_m");
+  obs::Gauge& round_gauge = obs::GetGauge("mcond.condense.round");
+  MCOND_LOG(INFO) << "mcond: condensing " << n_orig << " nodes -> "
+                  << num_synthetic << " synthetic (" << config.outer_rounds
+                  << " rounds, learn_mapping=" << config.learn_mapping
+                  << ")";
+
   for (int64_t round = 0; round < config.outer_rounds; ++round) {
+    obs::TraceSpan round_span("condense.round");
+    round_gauge.Set(static_cast<double>(round));
     // Fresh relay initialization each round: θ₀ ~ P_θ₀ of Eq. (4).
     relay.ResetParameters(rng);
 
@@ -121,6 +133,7 @@ MCondResult RunMCond(const Graph& original, const HeldOutBatch& support,
     const Tensor mapping_now =
         config.learn_mapping ? mapping.NormalizedTensor() : Tensor();
     for (int64_t t = 0; t < config.s_steps_per_round; ++t) {
+      obs::TraceSpan s_span("condense.s_step");
       // One-step matching re-draws θ₀ for every step (DosCond).
       if (config.one_step_matching) relay.ResetParameters(rng);
       Variable a_syn = generator.Forward(x_syn);
@@ -152,9 +165,10 @@ MCondResult RunMCond(const Graph& original, const HeldOutBatch& support,
           for (int64_t i = 0; i < batch.size(); ++i) {
             targets.At(i, 0) = batch.target[static_cast<size_t>(i)];
           }
-          loss = ops::Add(loss,
-                          ops::Scale(ops::BceWithLogits(scores, targets),
-                                     config.lambda));
+          Variable str_term =
+              ops::Scale(ops::BceWithLogits(scores, targets), config.lambda);
+          loss_str_series.Append(str_term->value().At(0, 0));
+          loss = ops::Add(loss, str_term);
         }
       }
 
@@ -164,6 +178,7 @@ MCondResult RunMCond(const Graph& original, const HeldOutBatch& support,
       opt_features.Step();
       opt_generator.Step();
       result.s_loss_history.push_back(loss->value().At(0, 0));
+      loss_s_series.Append(result.s_loss_history.back());
 
       // Relay update on S (line 11): θ_{t+1} = optimizer(ℒ, f, S). Reuses
       // the propagated features from this step's forward pass — they are
@@ -181,6 +196,7 @@ MCondResult RunMCond(const Graph& original, const HeldOutBatch& support,
 
     // ---- Update the mapping M (lines 12-15 of Algorithm 1). ----
     // S and θ are frozen; precompute every constant of this round.
+    obs::TraceSpan mapping_span("condense.mapping_update");
     const Tensor a_syn_now = generator.Forward(x_syn)->value();
     const Tensor a_hat_now =
         NormalizeDenseAdjacency(MakeConstant(a_syn_now))->value();
@@ -209,6 +225,7 @@ MCondResult RunMCond(const Graph& original, const HeldOutBatch& support,
         MakeConstant(support.inter.ToDense());
 
     for (int64_t t = 0; t < config.m_steps_per_round; ++t) {
+      obs::TraceSpan m_span("condense.m_step");
       Variable m_norm = mapping.Normalized();
 
       // ℒ_tra (Eq. 10): H ≈ M H'.
@@ -238,18 +255,21 @@ MCondResult RunMCond(const Graph& original, const HeldOutBatch& support,
       Backward(loss);
       opt_mapping.Step();
       result.m_loss_history.push_back(loss->value().At(0, 0));
+      loss_m_series.Append(result.m_loss_history.back());
     }
 
+    const float last_s = result.s_loss_history.empty()
+                             ? 0.0f
+                             : result.s_loss_history.back();
+    const float last_m = result.m_loss_history.empty()
+                             ? 0.0f
+                             : result.m_loss_history.back();
     if (config.verbose) {
-      std::cout << "[mcond] round " << round << " L_S="
-                << (result.s_loss_history.empty()
-                        ? 0.0f
-                        : result.s_loss_history.back())
-                << " L_M="
-                << (result.m_loss_history.empty()
-                        ? 0.0f
-                        : result.m_loss_history.back())
-                << "\n";
+      MCOND_LOG(INFO) << "mcond round " << round << " L_S=" << last_s
+                      << " L_M=" << last_m;
+    } else {
+      MCOND_VLOG(1) << "mcond round " << round << " L_S=" << last_s
+                    << " L_M=" << last_m;
     }
   }
 

@@ -13,10 +13,15 @@ namespace mcond {
 struct InferenceResult {
   /// n×C logits for the batch (rows align with batch features).
   Tensor logits;
-  /// Mean wall-clock seconds per serve, over `repeats` runs. Includes the
-  /// whole serving path: link conversion (aM), block composition,
+  /// Mean wall-clock seconds per serve, over `repeats` timed runs after
+  /// one untimed warm-up run (the warm-up absorbs one-time composition /
+  /// allocation costs so cold caches don't skew speedup ratios). Includes
+  /// the whole serving path: link conversion (aM), block composition,
   /// normalization, and the GNN forward pass.
   double seconds = 0.0;
+  /// Fastest of the timed runs (plus the one-time aM conversion when one
+  /// is used) — a cache-warm lower bound to report alongside the mean.
+  double seconds_min = 0.0;
   /// The paper's memory model (§II-B): CSR bytes of the composed adjacency
   /// + (N+n)·d feature floats (+ mapping bytes when one is used).
   int64_t memory_bytes = 0;

@@ -1,11 +1,13 @@
 #include "graph/compose.h"
 
 #include "core/tensor_ops.h"
+#include "obs/trace.h"
 
 namespace mcond {
 
 CsrMatrix ComposeBlockAdjacency(const CsrMatrix& base, const CsrMatrix& links,
                                 const CsrMatrix& inter) {
+  MCOND_TRACE_SPAN("graph.compose_block_adjacency");
   MCOND_CHECK_EQ(base.rows(), base.cols());
   MCOND_CHECK_EQ(links.cols(), base.cols());
   MCOND_CHECK_EQ(inter.rows(), links.rows());

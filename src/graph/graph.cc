@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "core/tensor_ops.h"
+#include "obs/trace.h"
 
 namespace mcond {
 
@@ -25,6 +26,7 @@ CsrMatrix AddSelfLoops(const CsrMatrix& a, float weight) {
 }
 
 CsrMatrix SymNormalize(const CsrMatrix& a, bool add_self_loops) {
+  MCOND_TRACE_SPAN("graph.sym_normalize");
   const CsrMatrix tilde = add_self_loops ? AddSelfLoops(a) : a;
   const std::vector<float> deg = tilde.RowSums();
   std::vector<float> dinv_sqrt(deg.size());

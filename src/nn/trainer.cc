@@ -1,10 +1,31 @@
 #include "nn/trainer.h"
 
-#include <iostream>
+#include <cmath>
 
 #include "autograd/optimizer.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mcond {
+
+namespace {
+
+/// L2 norm over every parameter gradient (flattened), after Backward.
+double GradientNorm(const std::vector<Variable>& params) {
+  double sum_sq = 0.0;
+  for (const Variable& p : params) {
+    const Tensor& g = p->grad();
+    const float* data = g.data();
+    const int64_t n = g.size();
+    for (int64_t i = 0; i < n; ++i) {
+      sum_sq += static_cast<double>(data[i]) * static_cast<double>(data[i]);
+    }
+  }
+  return std::sqrt(sum_sq);
+}
+
+}  // namespace
 
 TrainResult TrainNodeClassifier(GnnModel& model, const GraphOperators& g,
                                 const Tensor& features,
@@ -21,18 +42,28 @@ TrainResult TrainNodeClassifier(GnnModel& model, const GraphOperators& g,
     train_labels.push_back(y);
   }
 
+  obs::Series& loss_series = obs::GetSeries("mcond.train.loss");
+  obs::Series& grad_norm_series = obs::GetSeries("mcond.train.grad_norm");
+  obs::Gauge& best_eval_gauge = obs::GetGauge("mcond.train.best_eval");
+  obs::GetCounter("mcond.train.runs").Increment();
+
   AdamOptimizer opt(model.Parameters(), config.lr, config.weight_decay);
+  const std::vector<Variable> params = model.Parameters();
   TrainResult result;
   std::vector<Tensor> best_snapshot;
   for (int64_t epoch = 0; epoch < config.epochs; ++epoch) {
+    obs::TraceSpan epoch_span("train.epoch");
     Variable x = MakeConstant(features);
     Variable logits = model.Forward(g, x, /*training=*/true, rng);
     Variable batch = ops::GatherRows(logits, train_nodes);
     Variable loss = ops::SoftmaxCrossEntropy(batch, train_labels);
     opt.ZeroGrad();
     Backward(loss);
+    const double grad_norm = GradientNorm(params);
     opt.Step();
     result.final_loss = loss->value().At(0, 0);
+    loss_series.Append(result.final_loss);
+    grad_norm_series.Append(grad_norm);
     if (eval_fn && (epoch % config.eval_every == config.eval_every - 1 ||
                     epoch + 1 == config.epochs)) {
       const double score = eval_fn();
@@ -40,9 +71,13 @@ TrainResult TrainNodeClassifier(GnnModel& model, const GraphOperators& g,
         result.best_eval = score;
         best_snapshot = model.SnapshotParameters();
       }
+      best_eval_gauge.Set(result.best_eval);
       if (config.verbose) {
-        std::cout << "epoch " << epoch << " loss " << result.final_loss
-                  << " eval " << score << "\n";
+        MCOND_LOG(INFO) << "epoch " << epoch << " loss " << result.final_loss
+                        << " grad_norm " << grad_norm << " eval " << score;
+      } else {
+        MCOND_VLOG(1) << "epoch " << epoch << " loss " << result.final_loss
+                      << " grad_norm " << grad_norm << " eval " << score;
       }
     }
   }

@@ -1,0 +1,49 @@
+#include "obs/export.h"
+
+#include <cstdlib>
+#include <fstream>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace mcond {
+namespace obs {
+
+namespace {
+
+Status WriteStringToFile(const std::string& path,
+                         const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::InvalidArgument("cannot open " + path + " for writing");
+  }
+  out.write(contents.data(),
+            static_cast<std::streamsize>(contents.size()));
+  out.flush();
+  if (!out) {
+    return Status::InvalidArgument("short write to " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status WriteTraceJson(const std::string& path) {
+  return WriteStringToFile(path, TraceToJson());
+}
+
+Status WriteMetricsJson(const std::string& path) {
+  return WriteStringToFile(path, MetricsToJson());
+}
+
+void InitObservabilityFromEnv() {
+  ReinitLoggingFromEnv();
+  const char* trace_env = std::getenv("MCOND_TRACE");
+  if (trace_env != nullptr && std::atoi(trace_env) != 0) {
+    EnableTracing(true);
+  }
+}
+
+}  // namespace obs
+}  // namespace mcond

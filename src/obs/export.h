@@ -1,0 +1,32 @@
+#ifndef MCOND_OBS_EXPORT_H_
+#define MCOND_OBS_EXPORT_H_
+
+#include <string>
+
+#include "core/status.h"
+
+/// File export for the tracer and the metrics registry, plus one-call env
+/// initialization — the glue the CLI and benches use:
+///
+///   obs::InitObservabilityFromEnv();        // MCOND_LOG_LEVEL, MCOND_TRACE
+///   ...run...
+///   obs::WriteTraceJson("trace.json");      // open in chrome://tracing
+///   obs::WriteMetricsJson("metrics.json");
+
+namespace mcond {
+namespace obs {
+
+/// Writes the current trace ring as Chrome trace_event JSON.
+Status WriteTraceJson(const std::string& path);
+
+/// Writes a snapshot of the global metrics registry as JSON.
+Status WriteMetricsJson(const std::string& path);
+
+/// Applies MCOND_LOG_LEVEL / MCOND_VLOG to the logger and enables tracing
+/// when MCOND_TRACE is set to a non-zero value.
+void InitObservabilityFromEnv();
+
+}  // namespace obs
+}  // namespace mcond
+
+#endif  // MCOND_OBS_EXPORT_H_

@@ -1,0 +1,187 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace mcond {
+namespace obs {
+
+namespace {
+
+/// Emits a double as a JSON value; non-finite values become strings so the
+/// document stays parseable (losses can go NaN when a run diverges).
+void AppendJsonDouble(std::ostringstream& out, double v) {
+  if (std::isnan(v)) {
+    out << "\"nan\"";
+  } else if (std::isinf(v)) {
+    out << (v > 0 ? "\"inf\"" : "\"-inf\"");
+  } else {
+    out.precision(std::numeric_limits<double>::max_digits10);
+    out << v;
+  }
+}
+
+template <typename Map, typename Fn>
+void AppendJsonSection(std::ostringstream& out, const char* key,
+                       const Map& map, bool* first_section, Fn&& emit_value) {
+  if (!*first_section) out << ",";
+  *first_section = false;
+  out << "\"" << key << "\":{";
+  bool first = true;
+  for (const auto& [name, instrument] : map) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << name << "\":";
+    emit_value(*instrument);
+  }
+  out << "}";
+}
+
+}  // namespace
+
+void Histogram::Record(uint64_t value) {
+  buckets_[static_cast<size_t>(BucketIndex(value))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(static_cast<int64_t>(value), std::memory_order_relaxed);
+  uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value,
+                                     std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+int Histogram::BucketIndex(uint64_t value) {
+  if (value < 2) return 0;
+  const int idx = std::bit_width(value) - 1;  // floor(log2(value)).
+  return idx < kNumBuckets ? idx : kNumBuckets - 1;
+}
+
+uint64_t Histogram::Min() const {
+  const uint64_t m = min_.load(std::memory_order_relaxed);
+  return m == ~uint64_t{0} ? 0 : m;
+}
+
+void Series::Append(double v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++total_;
+  if (values_.size() < kMaxSamples) values_.push_back(v);
+}
+
+std::vector<double> Series::Values() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return values_;
+}
+
+int64_t Series::Count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // Leaked.
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+Series& MetricsRegistry::GetSeries(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = series_[name];
+  if (!slot) slot = std::make_unique<Series>();
+  return *slot;
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  out << "{";
+  bool first_section = true;
+  AppendJsonSection(out, "counters", counters_, &first_section,
+                    [&out](const Counter& c) { out << c.Value(); });
+  AppendJsonSection(out, "gauges", gauges_, &first_section,
+                    [&out](const Gauge& g) {
+                      AppendJsonDouble(out, g.Value());
+                    });
+  AppendJsonSection(
+      out, "histograms", histograms_, &first_section,
+      [&out](const Histogram& h) {
+        out << "{\"count\":" << h.Count() << ",\"sum\":" << h.Sum()
+            << ",\"min\":" << h.Min() << ",\"max\":" << h.Max()
+            << ",\"buckets\":[";
+        bool first = true;
+        for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+          const int64_t n = h.BucketCount(i);
+          if (n == 0) continue;
+          if (!first) out << ",";
+          first = false;
+          out << "{\"le\":" << Histogram::BucketUpperBound(i)
+              << ",\"count\":" << n << "}";
+        }
+        out << "]}";
+      });
+  AppendJsonSection(out, "series", series_, &first_section,
+                    [&out](const Series& s) {
+                      out << "{\"count\":" << s.Count() << ",\"values\":[";
+                      bool first = true;
+                      for (double v : s.Values()) {
+                        if (!first) out << ",";
+                        first = false;
+                        AppendJsonDouble(out, v);
+                      }
+                      out << "]}";
+                    });
+  out << "}";
+  return out.str();
+}
+
+void MetricsRegistry::ResetForTesting() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+  series_.clear();
+}
+
+Counter& GetCounter(const std::string& name) {
+  return MetricsRegistry::Global().GetCounter(name);
+}
+Gauge& GetGauge(const std::string& name) {
+  return MetricsRegistry::Global().GetGauge(name);
+}
+Histogram& GetHistogram(const std::string& name) {
+  return MetricsRegistry::Global().GetHistogram(name);
+}
+Series& GetSeries(const std::string& name) {
+  return MetricsRegistry::Global().GetSeries(name);
+}
+std::string MetricsToJson() { return MetricsRegistry::Global().ToJson(); }
+
+}  // namespace obs
+}  // namespace mcond

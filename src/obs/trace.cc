@@ -1,0 +1,158 @@
+#include "obs/trace.h"
+
+#include <array>
+#include <atomic>
+#include <sstream>
+
+#include "obs/log.h"
+
+namespace mcond {
+namespace obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+constexpr uint64_t kRingCapacity = 1 << 16;
+
+struct TraceRing {
+  /// Total events ever appended since last clear; slot = next % capacity.
+  std::atomic<uint64_t> next{0};
+  std::array<TraceEvent, kRingCapacity> slots;
+};
+
+std::atomic<bool> g_enabled{false};
+
+TraceRing& Ring() {
+  static TraceRing* ring = new TraceRing();  // Leaked: lives for the process.
+  return *ring;
+}
+
+uint32_t ThisThreadTrack() {
+  static std::atomic<uint32_t> next_tid{1};
+  thread_local uint32_t tid =
+      next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+uint32_t& ThisThreadDepth() {
+  thread_local uint32_t depth = 0;
+  return depth;
+}
+
+uint64_t ToMicros(Clock::duration d) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(d).count());
+}
+
+void AppendEvent(const TraceEvent& event) {
+  TraceRing& ring = Ring();
+  const uint64_t idx = ring.next.fetch_add(1, std::memory_order_relaxed);
+  ring.slots[idx % kRingCapacity] = event;
+}
+
+/// Minimal JSON string escaping for span names (expected to be literals,
+/// but a stray quote must not corrupt the file).
+void AppendEscaped(std::ostringstream& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out << ' ';
+    } else {
+      out << c;
+    }
+  }
+}
+
+}  // namespace
+
+void EnableTracing(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool TracingEnabled() {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void ClearTrace() { Ring().next.store(0, std::memory_order_relaxed); }
+
+uint64_t TraceEventsRecorded() {
+  return Ring().next.load(std::memory_order_relaxed);
+}
+
+uint64_t TraceEventsDropped() {
+  const uint64_t total = TraceEventsRecorded();
+  return total > kRingCapacity ? total - kRingCapacity : 0;
+}
+
+std::vector<TraceEvent> TraceSnapshot() {
+  TraceRing& ring = Ring();
+  const uint64_t total = ring.next.load(std::memory_order_acquire);
+  const uint64_t kept = total < kRingCapacity ? total : kRingCapacity;
+  std::vector<TraceEvent> out;
+  out.reserve(static_cast<size_t>(kept));
+  const uint64_t first = total - kept;  // Oldest retained event index.
+  for (uint64_t i = first; i < total; ++i) {
+    out.push_back(ring.slots[i % kRingCapacity]);
+  }
+  return out;
+}
+
+std::string TraceToJson() {
+  const std::vector<TraceEvent> events = TraceSnapshot();
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"recorded\":"
+      << TraceEventsRecorded() << ",\"dropped\":" << TraceEventsDropped()
+      << "},\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"";
+    AppendEscaped(out, e.name);
+    out << "\",\"cat\":\"mcond\",\"ph\":\"X\",\"pid\":1,\"tid\":" << e.tid
+        << ",\"ts\":" << e.start_us << ",\"dur\":" << e.dur_us
+        << ",\"args\":{\"depth\":" << e.depth << "}}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+TraceSpan::TraceSpan(const char* name, bool always_time) : name_(name) {
+  recording_ = TracingEnabled();
+  timing_ = recording_ || always_time;
+  if (recording_) {
+    depth_ = ThisThreadDepth()++;
+  }
+  if (timing_) {
+    // MonotonicMicros() pins the shared epoch before the first span so
+    // start offsets are comparable with log-record timestamps.
+    MonotonicMicros();
+    start_ = Clock::now();
+  }
+}
+
+TraceSpan::~TraceSpan() {
+  if (!recording_) return;
+  --ThisThreadDepth();
+  const Clock::time_point end = Clock::now();
+  TraceEvent event;
+  event.name = name_;
+  event.dur_us = ToMicros(end - start_);
+  // Start expressed on the MonotonicMicros clock: now minus elapsed.
+  const uint64_t now_us = MonotonicMicros();
+  event.start_us = now_us > event.dur_us ? now_us - event.dur_us : 0;
+  event.tid = ThisThreadTrack();
+  event.depth = depth_;
+  AppendEvent(event);
+}
+
+uint64_t TraceSpan::ElapsedMicros() const {
+  if (!timing_) return 0;
+  return ToMicros(Clock::now() - start_);
+}
+
+}  // namespace obs
+}  // namespace mcond

@@ -1,0 +1,95 @@
+#ifndef MCOND_OBS_TRACE_H_
+#define MCOND_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// Scoped-span tracing.
+///
+///   {
+///     obs::TraceSpan span("serve.compose");
+///     ...work...
+///   }  // span recorded here
+///
+/// Completed spans land in a process-global fixed-capacity ring buffer
+/// (oldest events overwritten on overflow) and can be exported as Chrome
+/// trace_event JSON — load the file in chrome://tracing or
+/// https://ui.perfetto.dev. Each thread gets its own track (tid) and a
+/// nesting depth maintained by the RAII spans.
+///
+/// Tracing is off by default. When disabled, constructing a TraceSpan is a
+/// single relaxed atomic load — no clock read, no locks, no allocation —
+/// unless `always_time` is set, which adds exactly one steady_clock read at
+/// each end so callers can use the span itself as a stopwatch
+/// (ElapsedMicros/ElapsedSeconds) whether or not tracing is on.
+
+namespace mcond {
+namespace obs {
+
+/// One completed span. `name` must point at storage that outlives the
+/// program trace (string literals in practice — spans do not copy).
+struct TraceEvent {
+  const char* name = "";
+  /// Start, microseconds on the shared MonotonicMicros clock.
+  uint64_t start_us = 0;
+  uint64_t dur_us = 0;
+  /// Thread track: 1-based, in order of first span per thread.
+  uint32_t tid = 0;
+  /// Nesting depth on that thread at the time the span opened (0 = root).
+  uint32_t depth = 0;
+};
+
+void EnableTracing(bool enabled);
+bool TracingEnabled();
+/// Drops all recorded events (the ring restarts empty).
+void ClearTrace();
+/// Events recorded since the last ClearTrace (pre-overflow count).
+uint64_t TraceEventsRecorded();
+/// Events dropped to overflow since the last ClearTrace.
+uint64_t TraceEventsDropped();
+
+/// Copies the retained events out of the ring, oldest first. Concurrent
+/// writers may race individual slots; snapshot from a quiesced process
+/// (end of run, or tests) for exact results.
+std::vector<TraceEvent> TraceSnapshot();
+
+/// Chrome trace_event JSON ("ph":"X" complete events, ts/dur in µs).
+std::string TraceToJson();
+
+class TraceSpan {
+ public:
+  /// `always_time`: read the clock even when tracing is disabled, so
+  /// Elapsed* work unconditionally (used where timing feeds results).
+  explicit TraceSpan(const char* name, bool always_time = false);
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Microseconds since construction. 0 if neither tracing nor
+  /// always_time armed the clock.
+  uint64_t ElapsedMicros() const;
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedMicros()) * 1e-6;
+  }
+
+ private:
+  const char* name_;
+  std::chrono::steady_clock::time_point start_;
+  bool timing_;    // Clock was read at construction.
+  bool recording_; // Event will be appended to the ring at destruction.
+  uint32_t depth_ = 0;
+};
+
+}  // namespace obs
+}  // namespace mcond
+
+/// Scoped span with a unique local name: MCOND_TRACE_SPAN("stage");
+#define MCOND_TRACE_SPAN_CONCAT2(a, b) a##b
+#define MCOND_TRACE_SPAN_CONCAT(a, b) MCOND_TRACE_SPAN_CONCAT2(a, b)
+#define MCOND_TRACE_SPAN(name)                              \
+  ::mcond::obs::TraceSpan MCOND_TRACE_SPAN_CONCAT(          \
+      mcond_trace_span_, __LINE__)(name)
+
+#endif  // MCOND_OBS_TRACE_H_

@@ -1,0 +1,447 @@
+// Tests for the observability subsystem (src/obs/): span nesting and
+// ordering, histogram bucket boundaries, counter atomicity under thread
+// contention, trace/metrics JSON well-formedness (parsed with a minimal
+// JSON checker below), and log-level filtering via the environment.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace mcond {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal recursive-descent JSON syntax checker. Accepts exactly the JSON
+// grammar (objects, arrays, strings with escapes, numbers, true/false/null);
+// returns false on trailing garbage or malformed input.
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : text_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      case 't':
+        return Literal("true");
+      case 'f':
+        return Literal("false");
+      case 'n':
+        return Literal("null");
+      default:
+        return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek('}')) return true;
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (!Expect(':')) return false;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek('}')) return true;
+      if (!Expect(',')) return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek(']')) return true;
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek(']')) return true;
+      if (!Expect(',')) return false;
+    }
+  }
+
+  bool String() {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return false;
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return false;
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool Number() {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(const char* word) {
+    const size_t len = std::string(word).size();
+    if (text_.compare(pos_, len, word) != 0) return false;
+    pos_ += len;
+    return true;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Peek(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool Expect(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+TEST(JsonCheckerTest, SanityOnKnownInputs) {
+  EXPECT_TRUE(JsonChecker(R"({"a":[1,2.5,-3e4],"b":{"c":"x\"y"},"d":null})")
+                  .Valid());
+  EXPECT_FALSE(JsonChecker(R"({"a":1)").Valid());
+  EXPECT_FALSE(JsonChecker(R"({"a":1} trailing)").Valid());
+  EXPECT_FALSE(JsonChecker(R"({"a":})").Valid());
+}
+
+// ---------------------------------------------------------------------------
+// Tracer.
+
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::ClearTrace();
+    obs::EnableTracing(true);
+  }
+  void TearDown() override {
+    obs::EnableTracing(false);
+    obs::ClearTrace();
+  }
+};
+
+TEST_F(TraceTest, SpanNestingAndOrdering) {
+  {
+    obs::TraceSpan outer("outer");
+    {
+      obs::TraceSpan inner("inner");
+      volatile int sink = 0;
+      for (int i = 0; i < 1000; ++i) sink = sink + i;
+      (void)sink;
+    }
+  }
+  const std::vector<obs::TraceEvent> events = obs::TraceSnapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Spans are appended when they close, so the inner span lands first.
+  const obs::TraceEvent& inner = events[0];
+  const obs::TraceEvent& outer = events[1];
+  EXPECT_STREQ(inner.name, "inner");
+  EXPECT_STREQ(outer.name, "outer");
+  EXPECT_EQ(outer.depth, 0u);
+  EXPECT_EQ(inner.depth, 1u);
+  EXPECT_EQ(inner.tid, outer.tid);
+  // Containment (1µs slack for timestamp truncation).
+  EXPECT_GE(inner.start_us + 1, outer.start_us);
+  EXPECT_LE(inner.start_us + inner.dur_us,
+            outer.start_us + outer.dur_us + 1);
+}
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  obs::EnableTracing(false);
+  {
+    obs::TraceSpan span("invisible");
+  }
+  EXPECT_EQ(obs::TraceSnapshot().size(), 0u);
+}
+
+TEST_F(TraceTest, AlwaysTimeSpanMeasuresWhileDisabled) {
+  obs::EnableTracing(false);
+  obs::TraceSpan span("stopwatch", /*always_time=*/true);
+  volatile int sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  (void)sink;
+  EXPECT_GE(span.ElapsedSeconds(), 0.0);
+  EXPECT_EQ(span.ElapsedMicros() == 0,
+            span.ElapsedSeconds() == 0.0);  // Consistent units.
+  EXPECT_EQ(obs::TraceSnapshot().size(), 0u);
+}
+
+TEST_F(TraceTest, TraceJsonIsWellFormedAndNamesSpans) {
+  {
+    obs::TraceSpan a("alpha");
+    obs::TraceSpan b("beta \"quoted\"");
+  }
+  const std::string json = obs::TraceToJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("alpha"), std::string::npos);
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST_F(TraceTest, RingOverflowDropsOldestAndCounts) {
+  const uint64_t over = 100;
+  const uint64_t capacity = 1 << 16;
+  for (uint64_t i = 0; i < capacity + over; ++i) {
+    obs::TraceSpan span("tick");
+  }
+  EXPECT_EQ(obs::TraceEventsRecorded(), capacity + over);
+  EXPECT_EQ(obs::TraceEventsDropped(), over);
+  EXPECT_EQ(obs::TraceSnapshot().size(), capacity);
+}
+
+TEST_F(TraceTest, SpansFromMultipleThreadsGetDistinctTracks) {
+  std::thread t([] {
+    obs::TraceSpan span("worker");
+  });
+  t.join();
+  {
+    obs::TraceSpan span("main");
+  }
+  const std::vector<obs::TraceEvent> events = obs::TraceSnapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_NE(events[0].tid, events[1].tid);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics.
+
+TEST(HistogramTest, BucketBoundariesArePowersOfTwo) {
+  // Bucket 0 is [0,2); bucket i is [2^i, 2^{i+1}).
+  EXPECT_EQ(obs::Histogram::BucketIndex(0), 0);
+  EXPECT_EQ(obs::Histogram::BucketIndex(1), 0);
+  EXPECT_EQ(obs::Histogram::BucketIndex(2), 1);
+  EXPECT_EQ(obs::Histogram::BucketIndex(3), 1);
+  EXPECT_EQ(obs::Histogram::BucketIndex(4), 2);
+  EXPECT_EQ(obs::Histogram::BucketIndex(7), 2);
+  EXPECT_EQ(obs::Histogram::BucketIndex(8), 3);
+  EXPECT_EQ(obs::Histogram::BucketIndex(1023), 9);
+  EXPECT_EQ(obs::Histogram::BucketIndex(1024), 10);
+  // Everything beyond the last boundary collapses into the final bucket.
+  EXPECT_EQ(obs::Histogram::BucketIndex(~uint64_t{0}),
+            obs::Histogram::kNumBuckets - 1);
+  EXPECT_EQ(obs::Histogram::BucketUpperBound(0), 2u);
+  EXPECT_EQ(obs::Histogram::BucketUpperBound(3), 16u);
+}
+
+TEST(HistogramTest, RecordUpdatesCountSumMinMax) {
+  obs::Histogram h;
+  h.Record(5);
+  h.Record(100);
+  h.Record(1);
+  EXPECT_EQ(h.Count(), 3);
+  EXPECT_EQ(h.Sum(), 106);
+  EXPECT_EQ(h.Min(), 1u);
+  EXPECT_EQ(h.Max(), 100u);
+  EXPECT_EQ(h.BucketCount(obs::Histogram::BucketIndex(5)), 1);
+  EXPECT_EQ(h.BucketCount(obs::Histogram::BucketIndex(100)), 1);
+  EXPECT_EQ(h.BucketCount(0), 1);  // The sample `1`.
+}
+
+TEST(MetricsTest, CounterIsAtomicUnderContention) {
+  obs::Counter counter;
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (int i = 0; i < kIncrements; ++i) counter.Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter.Value(), int64_t{kThreads} * kIncrements);
+}
+
+TEST(MetricsTest, HistogramIsConsistentUnderContention) {
+  obs::Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kSamples = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kSamples; ++i) {
+        h.Record(static_cast<uint64_t>(i % 1000));
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(h.Count(), int64_t{kThreads} * kSamples);
+  int64_t bucket_total = 0;
+  for (int i = 0; i < obs::Histogram::kNumBuckets; ++i) {
+    bucket_total += h.BucketCount(i);
+  }
+  EXPECT_EQ(bucket_total, h.Count());
+  EXPECT_EQ(h.Min(), 0u);
+  EXPECT_EQ(h.Max(), 999u);
+}
+
+TEST(MetricsTest, SeriesKeepsFirstSamplesAndCountsAll) {
+  obs::Series s;
+  for (size_t i = 0; i < obs::Series::kMaxSamples + 10; ++i) {
+    s.Append(static_cast<double>(i));
+  }
+  EXPECT_EQ(s.Values().size(), obs::Series::kMaxSamples);
+  EXPECT_EQ(s.Count(),
+            static_cast<int64_t>(obs::Series::kMaxSamples) + 10);
+  EXPECT_EQ(s.Values().front(), 0.0);
+}
+
+TEST(MetricsTest, RegistryJsonIsWellFormedAndCompleteRoundTrip) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("mcond.test.requests").Increment(3);
+  registry.GetGauge("mcond.test.bytes").Set(1234.5);
+  registry.GetHistogram("mcond.test.latency_us").Record(37);
+  registry.GetSeries("mcond.test.loss").Append(0.75);
+  // Non-finite values must serialize into parseable JSON.
+  registry.GetGauge("mcond.test.nan").Set(std::nan(""));
+  const std::string json = registry.ToJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"mcond.test.requests\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"mcond.test.latency_us\""), std::string::npos);
+  EXPECT_NE(json.find("\"nan\""), std::string::npos);
+  EXPECT_NE(json.find("0.75"), std::string::npos);
+}
+
+TEST(MetricsTest, GlobalRegistryHandlesAreStable) {
+  obs::Counter& a = obs::GetCounter("mcond.test.stable");
+  obs::Counter& b = obs::GetCounter("mcond.test.stable");
+  EXPECT_EQ(&a, &b);
+  const std::string json = obs::MetricsToJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+}
+
+// ---------------------------------------------------------------------------
+// Logging.
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    records_.clear();
+    obs::SetLogSink([this](const obs::LogRecord& r) {
+      records_.push_back(r);
+    });
+  }
+  void TearDown() override {
+    obs::SetLogSink(nullptr);
+    unsetenv("MCOND_LOG_LEVEL");
+    unsetenv("MCOND_VLOG");
+    obs::ReinitLoggingFromEnv();
+  }
+  std::vector<obs::LogRecord> records_;
+};
+
+TEST_F(LogTest, LevelFilteringViaEnvVar) {
+  setenv("MCOND_LOG_LEVEL", "error", /*overwrite=*/1);
+  obs::ReinitLoggingFromEnv();
+  MCOND_LOG(INFO) << "hidden info";
+  MCOND_LOG(WARN) << "hidden warning";
+  MCOND_LOG(ERROR) << "visible error " << 42;
+  ASSERT_EQ(records_.size(), 1u);
+  EXPECT_EQ(records_[0].level, obs::LogLevel::kError);
+  EXPECT_EQ(records_[0].message, "visible error 42");
+  EXPECT_GT(records_[0].line, 0);
+}
+
+TEST_F(LogTest, OffSilencesEverything) {
+  setenv("MCOND_LOG_LEVEL", "off", /*overwrite=*/1);
+  obs::ReinitLoggingFromEnv();
+  MCOND_LOG(ERROR) << "even errors";
+  EXPECT_TRUE(records_.empty());
+}
+
+TEST_F(LogTest, VlogGatedByVerbosityEnv) {
+  setenv("MCOND_LOG_LEVEL", "info", /*overwrite=*/1);
+  setenv("MCOND_VLOG", "2", /*overwrite=*/1);
+  obs::ReinitLoggingFromEnv();
+  MCOND_VLOG(1) << "shown v1";
+  MCOND_VLOG(2) << "shown v2";
+  MCOND_VLOG(3) << "hidden v3";
+  ASSERT_EQ(records_.size(), 2u);
+  EXPECT_EQ(records_[0].verbosity, 1);
+  EXPECT_EQ(records_[1].verbosity, 2);
+}
+
+TEST_F(LogTest, DisabledStatementsDoNotEvaluateOperands) {
+  setenv("MCOND_LOG_LEVEL", "error", /*overwrite=*/1);
+  obs::ReinitLoggingFromEnv();
+  int evaluations = 0;
+  auto touch = [&evaluations] {
+    ++evaluations;
+    return "x";
+  };
+  MCOND_LOG(INFO) << touch();
+  EXPECT_EQ(evaluations, 0);
+  MCOND_LOG(ERROR) << touch();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LogTest, ParseLogLevelAcceptsNamesAndNumbers) {
+  obs::LogLevel level = obs::LogLevel::kInfo;
+  EXPECT_TRUE(obs::ParseLogLevel("DEBUG", &level));
+  EXPECT_EQ(level, obs::LogLevel::kDebug);
+  EXPECT_TRUE(obs::ParseLogLevel("warn", &level));
+  EXPECT_EQ(level, obs::LogLevel::kWarning);
+  EXPECT_TRUE(obs::ParseLogLevel("3", &level));
+  EXPECT_EQ(level, obs::LogLevel::kError);
+  EXPECT_FALSE(obs::ParseLogLevel("loud", &level));
+  EXPECT_EQ(level, obs::LogLevel::kError);  // Unchanged on failure.
+}
+
+}  // namespace
+}  // namespace mcond

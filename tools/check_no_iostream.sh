@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Fails if library code under src/ uses std::cout / std::cerr directly.
+# Diagnostics must go through the observability layer (src/obs/log.h) so
+# they are leveled, filterable, and sink-pluggable. Allowed exceptions:
+#   - src/eval/experiment.cc   (result-table printing is its contract)
+#   - src/core/logging.h       (MCOND_CHECK's fatal path writes to stderr)
+#
+# Usage: check_no_iostream.sh [repo_root]   (also run as a ctest entry)
+
+set -u
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+allowed='src/eval/experiment\.cc|src/core/logging\.h'
+
+matches=$(grep -rn --include='*.cc' --include='*.h' -E 'std::(cout|cerr)' \
+  "$root/src" | grep -Ev "($allowed)")
+
+if [ -n "$matches" ]; then
+  echo "error: direct std::cout/std::cerr in src/ — use MCOND_LOG from" \
+       "obs/log.h instead (see docs/observability.md):"
+  echo "$matches"
+  exit 1
+fi
+echo "OK: no direct iostream diagnostics in src/"
+exit 0

@@ -10,6 +10,11 @@
 //       Train SGC on the artifact and serve the dataset's test batch,
 //       reporting accuracy / latency / memory vs the original graph.
 //
+// Observability flags, accepted by every command (docs/observability.md):
+//   --log_level debug|info|warn|error|off   (default: MCOND_LOG_LEVEL)
+//   --trace_out trace.json    enable tracing, write Chrome trace JSON
+//   --metrics_out metrics.json  write a metrics-registry snapshot
+//
 // Exit code 0 on success; errors print a Status message to stderr.
 
 #include <cstring>
@@ -23,6 +28,10 @@
 #include "data/datasets.h"
 #include "eval/inference.h"
 #include "nn/trainer.h"
+#include "obs/export.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace mcond {
 namespace {
@@ -171,10 +180,12 @@ int CmdServe(const Args& args) {
   std::cout << (graph_batch ? "graph" : "node") << "-batch serving of "
             << data.test.size() << " inductive nodes\n";
   std::cout << "  synthetic: acc " << on_syn.accuracy << ", "
-            << on_syn.seconds * 1e3 << " ms, "
+            << on_syn.seconds * 1e3 << " ms (min "
+            << on_syn.seconds_min * 1e3 << "), "
             << on_syn.memory_bytes / 1024 << " KB\n";
   std::cout << "  original:  acc " << on_orig.accuracy << ", "
-            << on_orig.seconds * 1e3 << " ms, "
+            << on_orig.seconds * 1e3 << " ms (min "
+            << on_orig.seconds_min * 1e3 << "), "
             << on_orig.memory_bytes / 1024 << " KB\n";
   std::cout << "  speedup " << on_orig.seconds / on_syn.seconds
             << "x, memory saving "
@@ -184,20 +195,72 @@ int CmdServe(const Args& args) {
   return 0;
 }
 
+/// Applies --log_level / --trace_out before the command runs. Returns
+/// false on an unparseable level.
+bool SetupObservability(const Args& args) {
+  obs::InitObservabilityFromEnv();
+  const std::string level_text = FlagOr(args, "log_level", "");
+  if (!level_text.empty()) {
+    obs::LogLevel level;
+    if (!obs::ParseLogLevel(level_text, &level)) {
+      std::cerr << "bad --log_level '" << level_text
+                << "' (want debug|info|warn|error|off)\n";
+      return false;
+    }
+    obs::SetMinLogLevel(level);
+  }
+  if (!FlagOr(args, "trace_out", "").empty()) obs::EnableTracing(true);
+  return true;
+}
+
+/// Writes --trace_out / --metrics_out files after the command ran.
+int ExportObservability(const Args& args, int command_rc) {
+  const std::string trace_out = FlagOr(args, "trace_out", "");
+  if (!trace_out.empty()) {
+    const Status status = obs::WriteTraceJson(trace_out);
+    if (!status.ok()) {
+      std::cerr << status.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "wrote trace (" << obs::TraceEventsRecorded()
+              << " spans) to " << trace_out << "\n";
+  }
+  const std::string metrics_out = FlagOr(args, "metrics_out", "");
+  if (!metrics_out.empty()) {
+    const Status status = obs::WriteMetricsJson(metrics_out);
+    if (!status.ok()) {
+      std::cerr << status.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "wrote metrics to " << metrics_out << "\n";
+  }
+  return command_rc;
+}
+
 int Run(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: mcond_cli <datasets|condense|inspect|serve> "
+                 "[--log_level L] [--trace_out F] [--metrics_out F] "
                  "[flags]\n";
     return 1;
   }
   const std::string cmd = argv[1];
   const Args args = ParseArgs(argc, argv);
-  if (cmd == "datasets") return CmdDatasets();
-  if (cmd == "condense") return CmdCondense(args);
-  if (cmd == "inspect") return CmdInspect(args);
-  if (cmd == "serve") return CmdServe(args);
-  std::cerr << "unknown command: " << cmd << "\n";
-  return 1;
+  if (!SetupObservability(args)) return 1;
+  int rc;
+  if (cmd == "datasets") {
+    rc = CmdDatasets();
+  } else if (cmd == "condense") {
+    rc = CmdCondense(args);
+  } else if (cmd == "inspect") {
+    rc = CmdInspect(args);
+  } else if (cmd == "serve") {
+    rc = CmdServe(args);
+  } else {
+    std::cerr << "unknown command: " << cmd << "\n";
+    return 1;
+  }
+  return ExportObservability(args, rc);
 }
 
 }  // namespace
