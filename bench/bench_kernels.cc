@@ -3,8 +3,23 @@
 // exactly what shrinks when serving moves from the original graph (N) to
 // the synthetic graph (N'). Also covers the serving-path pieces: aM
 // conversion, block composition, and normalization.
+//
+// Extra modes:
+//   bench_kernels --smoke
+//       Runs one fixed instance of each parallel kernel and prints a
+//       bit-level checksum per kernel. tools/check_determinism.sh diffs
+//       this output between MCOND_NUM_THREADS=1 and N to prove the
+//       determinism contract end to end (docs/performance.md).
+//   BM_*Threads benchmarks sweep the pool width (the Arg is the thread
+//       count; 0 means the default width) for the speedup table in
+//       BENCH_kernels.json.
 #include <benchmark/benchmark.h>
 
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "core/parallel.h"
 #include "core/tensor_ops.h"
 #include "data/synthetic.h"
 #include "graph/compose.h"
@@ -138,7 +153,159 @@ BENCHMARK(BM_DenseVsSparseDeployment)
     ->Arg(1)
     ->ArgNames({"synthetic"});
 
+// ---- Thread-count sweeps (the tentpole speedup measurements). ----
+//
+// The Arg is the pool width; 0 selects the default (MCOND_NUM_THREADS or
+// hardware concurrency). Each benchmark restores the default width on exit
+// so orderings don't leak across benchmarks.
+
+void SetPoolWidth(int64_t arg) {
+  ThreadPool::Global().SetNumThreads(
+      arg == 0 ? ThreadPool::DefaultNumThreads() : static_cast<int>(arg));
+}
+
+void BM_GemmThreads(benchmark::State& state) {
+  SetPoolWidth(state.range(0));
+  Rng rng(21);
+  const Tensor a = rng.NormalTensor(1024, 1024);
+  const Tensor b = rng.NormalTensor(1024, 256);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * 1024 * 1024 * 256);
+  ThreadPool::Global().SetNumThreads(ThreadPool::DefaultNumThreads());
+}
+BENCHMARK(BM_GemmThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(0)
+    ->ArgNames({"threads"})->Unit(benchmark::kMillisecond);
+
+void BM_GemmSerialRef(benchmark::State& state) {
+  // The naive single-threaded reference: the speedup denominator that
+  // includes the blocking win, not just the threading win.
+  Rng rng(21);
+  const Tensor a = rng.NormalTensor(1024, 1024);
+  const Tensor b = rng.NormalTensor(1024, 256);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(serial::MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * 1024 * 1024 * 256);
+}
+BENCHMARK(BM_GemmSerialRef)->Unit(benchmark::kMillisecond);
+
+void BM_GemmTransAThreads(benchmark::State& state) {
+  SetPoolWidth(state.range(0));
+  Rng rng(22);
+  const Tensor a = rng.NormalTensor(1024, 256);
+  const Tensor b = rng.NormalTensor(1024, 256);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMulTransA(a, b));
+  }
+  ThreadPool::Global().SetNumThreads(ThreadPool::DefaultNumThreads());
+}
+BENCHMARK(BM_GemmTransAThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(0)
+    ->ArgNames({"threads"})->Unit(benchmark::kMillisecond);
+
+void BM_SpMMThreads(benchmark::State& state) {
+  // Reddit-shaped (scaled): dense-ish power-law-free SBM with a high mean
+  // degree, the regime the serving path hits on the original graph.
+  SetPoolWidth(state.range(0));
+  SbmConfig config;
+  config.num_nodes = 16384;
+  config.num_classes = 8;
+  config.feature_dim = 128;
+  config.avg_degree = 50.0;
+  Rng rng(23);
+  Graph g = GenerateSbmGraph(config, rng);
+  const Tensor& x = g.features();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.normalized_adjacency().SpMM(x));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 *
+                          g.normalized_adjacency().Nnz() *
+                          config.feature_dim);
+  ThreadPool::Global().SetNumThreads(ThreadPool::DefaultNumThreads());
+}
+BENCHMARK(BM_SpMMThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(0)
+    ->ArgNames({"threads"})->Unit(benchmark::kMillisecond);
+
+void BM_SoftmaxThreads(benchmark::State& state) {
+  SetPoolWidth(state.range(0));
+  Rng rng(24);
+  const Tensor a = rng.NormalTensor(65536, 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SoftmaxRows(a));
+  }
+  ThreadPool::Global().SetNumThreads(ThreadPool::DefaultNumThreads());
+}
+BENCHMARK(BM_SoftmaxThreads)->Arg(1)->Arg(0)->ArgNames({"threads"})
+    ->Unit(benchmark::kMillisecond);
+
+// ---- Smoke / checksum mode. ----
+
+/// Order-independent-of-nothing checksum: folds the exact bit pattern of
+/// every float in `t`, so ANY single-bit difference between two runs
+/// changes the output.
+uint64_t BitChecksum(const Tensor& t) {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a 64.
+  const float* p = t.data();
+  for (int64_t i = 0; i < t.size(); ++i) {
+    uint32_t bits;
+    std::memcpy(&bits, &p[i], sizeof(bits));
+    h = (h ^ bits) * 1099511628211ull;
+  }
+  return h;
+}
+
+uint64_t BitChecksum(const std::vector<float>& v) {
+  uint64_t h = 1469598103934665603ull;
+  for (float f : v) {
+    uint32_t bits;
+    std::memcpy(&bits, &f, sizeof(bits));
+    h = (h ^ bits) * 1099511628211ull;
+  }
+  return h;
+}
+
+int RunSmoke() {
+  std::printf("threads %d\n", ThreadPool::Global().NumThreads());
+  Rng rng(99);
+  const Tensor a = rng.NormalTensor(301, 257);
+  const Tensor b = rng.NormalTensor(257, 129);
+  const Tensor bt = rng.NormalTensor(129, 257);
+  const Tensor at = rng.NormalTensor(257, 301);
+  std::printf("matmul %016" PRIx64 "\n", BitChecksum(MatMul(a, b)));
+  std::printf("matmul_ta %016" PRIx64 "\n", BitChecksum(MatMulTransA(at, b)));
+  std::printf("matmul_tb %016" PRIx64 "\n", BitChecksum(MatMulTransB(a, bt)));
+  std::printf("softmax %016" PRIx64 "\n", BitChecksum(SoftmaxRows(a)));
+  std::printf("add %016" PRIx64 "\n",
+              BitChecksum(Add(a, Scale(a, 0.5f))));
+
+  SbmConfig config;
+  config.num_nodes = 2048;
+  config.num_classes = 8;
+  config.feature_dim = 64;
+  config.avg_degree = 16.0;
+  Rng grng(7);
+  Graph g = GenerateSbmGraph(config, grng);
+  const CsrMatrix& norm = g.normalized_adjacency();
+  std::printf("sym_normalize %016" PRIx64 "\n", BitChecksum(norm.values()));
+  std::printf("row_normalize %016" PRIx64 "\n",
+              BitChecksum(g.row_normalized_adjacency().values()));
+  std::printf("spmm %016" PRIx64 "\n", BitChecksum(norm.SpMM(g.features())));
+  const Tensor y = rng.NormalTensor(config.num_nodes, 32);
+  std::printf("spmm_t %016" PRIx64 "\n", BitChecksum(norm.SpMMTransposed(y)));
+  return 0;
+}
+
 }  // namespace
 }  // namespace mcond
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return mcond::RunSmoke();
+  }
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

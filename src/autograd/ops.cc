@@ -3,6 +3,7 @@
 #include <cmath>
 #include <utility>
 
+#include "core/parallel.h"
 #include "core/tensor_ops.h"
 
 namespace mcond {
@@ -98,7 +99,12 @@ Variable Scale(const Variable& a, float s) {
 Variable AddScalar(const Variable& a, float c) {
   Tensor v = a->value();
   float* p = v.data();
-  for (int64_t i = 0; i < v.size(); ++i) p[i] += c;
+  ParallelFor(
+      0, v.size(), GrainFromCost(2),
+      [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) p[i] += c;
+      },
+      "ops.add_scalar");
   Variable out = MakeOp(std::move(v), {a});
   VariableNode* o = out.get();
   Variable pa = a;
@@ -125,24 +131,36 @@ namespace {
 Tensor ScaleRows(const Tensor& a, const Tensor& col) {
   MCOND_CHECK_EQ(col.rows(), a.rows());
   MCOND_CHECK_EQ(col.cols(), 1);
-  Tensor out = a;
-  for (int64_t i = 0; i < a.rows(); ++i) {
-    const float s = col.At(i, 0);
-    float* row = out.RowData(i);
-    for (int64_t j = 0; j < a.cols(); ++j) row[j] *= s;
-  }
+  Tensor out = Tensor::Uninitialized(a.rows(), a.cols());
+  ParallelFor(
+      0, a.rows(), GrainFromCost(2 * a.cols()),
+      [&](int64_t r0, int64_t r1) {
+        for (int64_t i = r0; i < r1; ++i) {
+          const float s = col.At(i, 0);
+          const float* src = a.RowData(i);
+          float* row = out.RowData(i);
+          for (int64_t j = 0; j < a.cols(); ++j) row[j] = src[j] * s;
+        }
+      },
+      "ops.scale_rows");
   return out;
 }
 
 Tensor ScaleCols(const Tensor& a, const Tensor& row_vec) {
   MCOND_CHECK_EQ(row_vec.cols(), a.cols());
   MCOND_CHECK_EQ(row_vec.rows(), 1);
-  Tensor out = a;
+  Tensor out = Tensor::Uninitialized(a.rows(), a.cols());
   const float* s = row_vec.data();
-  for (int64_t i = 0; i < a.rows(); ++i) {
-    float* row = out.RowData(i);
-    for (int64_t j = 0; j < a.cols(); ++j) row[j] *= s[j];
-  }
+  ParallelFor(
+      0, a.rows(), GrainFromCost(2 * a.cols()),
+      [&](int64_t r0, int64_t r1) {
+        for (int64_t i = r0; i < r1; ++i) {
+          const float* src = a.RowData(i);
+          float* row = out.RowData(i);
+          for (int64_t j = 0; j < a.cols(); ++j) row[j] = src[j] * s[j];
+        }
+      },
+      "ops.scale_cols");
   return out;
 }
 
@@ -226,13 +244,18 @@ Variable Sigmoid(const Variable& a) {
   out->set_backward_fn([o, pa]() {
     if (!pa->requires_grad()) return;
     const Tensor& y = o->value();
-    Tensor d(y.rows(), y.cols());
+    Tensor d = Tensor::Uninitialized(y.rows(), y.cols());
     const float* py = y.data();
     const float* pg = o->grad().data();
     float* pd = d.data();
-    for (int64_t i = 0; i < y.size(); ++i) {
-      pd[i] = pg[i] * py[i] * (1.0f - py[i]);
-    }
+    ParallelFor(
+        0, y.size(), GrainFromCost(3),
+        [&](int64_t i0, int64_t i1) {
+          for (int64_t i = i0; i < i1; ++i) {
+            pd[i] = pg[i] * py[i] * (1.0f - py[i]);
+          }
+        },
+        "ops.sigmoid_bwd");
     pa->AccumulateGrad(d);
   });
   return out;
@@ -245,36 +268,51 @@ Variable TanhV(const Variable& a) {
   out->set_backward_fn([o, pa]() {
     if (!pa->requires_grad()) return;
     const Tensor& y = o->value();
-    Tensor d(y.rows(), y.cols());
+    Tensor d = Tensor::Uninitialized(y.rows(), y.cols());
     const float* py = y.data();
     const float* pg = o->grad().data();
     float* pd = d.data();
-    for (int64_t i = 0; i < y.size(); ++i) {
-      pd[i] = pg[i] * (1.0f - py[i] * py[i]);
-    }
+    ParallelFor(
+        0, y.size(), GrainFromCost(3),
+        [&](int64_t i0, int64_t i1) {
+          for (int64_t i = i0; i < i1; ++i) {
+            pd[i] = pg[i] * (1.0f - py[i] * py[i]);
+          }
+        },
+        "ops.tanh_bwd");
     pa->AccumulateGrad(d);
   });
   return out;
 }
 
 Variable PowV(const Variable& a, float p) {
-  Tensor v(a->rows(), a->cols());
+  Tensor v = Tensor::Uninitialized(a->rows(), a->cols());
   const float* src = a->value().data();
   float* dst = v.data();
-  for (int64_t i = 0; i < v.size(); ++i) dst[i] = std::pow(src[i], p);
+  ParallelFor(
+      0, v.size(), GrainFromCost(64),
+      [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) dst[i] = std::pow(src[i], p);
+      },
+      "ops.pow");
   Variable out = MakeOp(std::move(v), {a});
   VariableNode* o = out.get();
   Variable pa = a;
   out->set_backward_fn([o, pa, p]() {
     if (!pa->requires_grad()) return;
     const Tensor& x = pa->value();
-    Tensor d(x.rows(), x.cols());
+    Tensor d = Tensor::Uninitialized(x.rows(), x.cols());
     const float* px = x.data();
     const float* pg = o->grad().data();
     float* pd = d.data();
-    for (int64_t i = 0; i < x.size(); ++i) {
-      pd[i] = pg[i] * p * std::pow(px[i], p - 1.0f);
-    }
+    ParallelFor(
+        0, x.size(), GrainFromCost(64),
+        [&](int64_t i0, int64_t i1) {
+          for (int64_t i = i0; i < i1; ++i) {
+            pd[i] = pg[i] * p * std::pow(px[i], p - 1.0f);
+          }
+        },
+        "ops.pow_bwd");
     pa->AccumulateGrad(d);
   });
   return out;
@@ -333,17 +371,28 @@ Variable ConcatCols(const Variable& left, const Variable& right) {
     const Tensor& g = o->grad();
     const int64_t lc = pl->cols();
     if (pl->requires_grad()) {
-      Tensor gl(g.rows(), lc);
-      for (int64_t i = 0; i < g.rows(); ++i) {
-        std::copy(g.RowData(i), g.RowData(i) + lc, gl.RowData(i));
-      }
+      Tensor gl = Tensor::Uninitialized(g.rows(), lc);
+      ParallelFor(
+          0, g.rows(), GrainFromCost(lc),
+          [&](int64_t r0, int64_t r1) {
+            for (int64_t i = r0; i < r1; ++i) {
+              std::copy(g.RowData(i), g.RowData(i) + lc, gl.RowData(i));
+            }
+          },
+          "ops.concat_cols_bwd");
       pl->AccumulateGrad(gl);
     }
     if (pr->requires_grad()) {
-      Tensor gr(g.rows(), g.cols() - lc);
-      for (int64_t i = 0; i < g.rows(); ++i) {
-        std::copy(g.RowData(i) + lc, g.RowData(i) + g.cols(), gr.RowData(i));
-      }
+      Tensor gr = Tensor::Uninitialized(g.rows(), g.cols() - lc);
+      ParallelFor(
+          0, g.rows(), GrainFromCost(g.cols() - lc),
+          [&](int64_t r0, int64_t r1) {
+            for (int64_t i = r0; i < r1; ++i) {
+              std::copy(g.RowData(i) + lc, g.RowData(i) + g.cols(),
+                        gr.RowData(i));
+            }
+          },
+          "ops.concat_cols_bwd");
       pr->AccumulateGrad(gr);
     }
   });
@@ -371,6 +420,8 @@ Variable GatherRows(const Variable& a, std::vector<int64_t> indices) {
     if (!pa->requires_grad()) return;
     Tensor g(pa->rows(), pa->cols());
     const Tensor& og = o->grad();
+    // Serial on purpose: idx may contain duplicates, so the scatter-add
+    // below races under row partitioning of the OUTPUT of the gather.
     for (size_t i = 0; i < idx.size(); ++i) {
       float* dst = g.RowData(idx[i]);
       const float* src = og.RowData(static_cast<int64_t>(i));
@@ -387,13 +438,18 @@ Variable RowSum(const Variable& a) {
   Variable pa = a;
   out->set_backward_fn([o, pa]() {
     if (!pa->requires_grad()) return;
-    Tensor g(pa->rows(), pa->cols());
+    Tensor g = Tensor::Uninitialized(pa->rows(), pa->cols());
     const Tensor& og = o->grad();
-    for (int64_t i = 0; i < g.rows(); ++i) {
-      const float v = og.At(i, 0);
-      float* row = g.RowData(i);
-      for (int64_t j = 0; j < g.cols(); ++j) row[j] = v;
-    }
+    ParallelFor(
+        0, g.rows(), GrainFromCost(g.cols()),
+        [&](int64_t r0, int64_t r1) {
+          for (int64_t i = r0; i < r1; ++i) {
+            const float v = og.At(i, 0);
+            float* row = g.RowData(i);
+            for (int64_t j = 0; j < g.cols(); ++j) row[j] = v;
+          }
+        },
+        "ops.row_sum_bwd");
     pa->AccumulateGrad(g);
   });
   return out;
@@ -426,17 +482,24 @@ Variable SoftmaxRows(const Variable& a) {
     if (!pa->requires_grad()) return;
     const Tensor& y = o->value();
     const Tensor& g = o->grad();
-    Tensor d(y.rows(), y.cols());
-    for (int64_t i = 0; i < y.rows(); ++i) {
-      const float* py = y.RowData(i);
-      const float* pg = g.RowData(i);
-      float dot = 0.0f;
-      for (int64_t j = 0; j < y.cols(); ++j) dot += py[j] * pg[j];
-      float* pd = d.RowData(i);
-      for (int64_t j = 0; j < y.cols(); ++j) {
-        pd[j] = py[j] * (pg[j] - dot);
-      }
-    }
+    Tensor d = Tensor::Uninitialized(y.rows(), y.cols());
+    // Row-parallel: each row's dot is folded in ascending j on one thread,
+    // so results match the serial loop bit for bit.
+    ParallelFor(
+        0, y.rows(), GrainFromCost(4 * y.cols()),
+        [&](int64_t r0, int64_t r1) {
+          for (int64_t i = r0; i < r1; ++i) {
+            const float* py = y.RowData(i);
+            const float* pg = g.RowData(i);
+            float dot = 0.0f;
+            for (int64_t j = 0; j < y.cols(); ++j) dot += py[j] * pg[j];
+            float* pd = d.RowData(i);
+            for (int64_t j = 0; j < y.cols(); ++j) {
+              pd[j] = py[j] * (pg[j] - dot);
+            }
+          }
+        },
+        "ops.softmax_bwd");
     pa->AccumulateGrad(d);
   });
   return out;
@@ -481,15 +544,20 @@ Variable L21Norm(const Variable& a) {
     if (!pa->requires_grad()) return;
     const float scale = o->grad().At(0, 0);
     const Tensor& x = pa->value();
-    Tensor g(x.rows(), x.cols());
-    for (int64_t i = 0; i < x.rows(); ++i) {
-      const float nrm = norms.At(i, 0);
-      if (nrm < 1e-12f) continue;  // Subgradient 0 at the kink.
-      const float inv = scale / nrm;
-      const float* xr = x.RowData(i);
-      float* gr = g.RowData(i);
-      for (int64_t j = 0; j < x.cols(); ++j) gr[j] = inv * xr[j];
-    }
+    Tensor g(x.rows(), x.cols());  // Zeroed: kink rows keep subgradient 0.
+    ParallelFor(
+        0, x.rows(), GrainFromCost(2 * x.cols()),
+        [&](int64_t r0, int64_t r1) {
+          for (int64_t i = r0; i < r1; ++i) {
+            const float nrm = norms.At(i, 0);
+            if (nrm < 1e-12f) continue;
+            const float inv = scale / nrm;
+            const float* xr = x.RowData(i);
+            float* gr = g.RowData(i);
+            for (int64_t j = 0; j < x.cols(); ++j) gr[j] = inv * xr[j];
+          }
+        },
+        "ops.l21_bwd");
     pa->AccumulateGrad(g);
   });
   return out;
@@ -502,17 +570,23 @@ Variable CosineColumnDistance(const Variable& a, const Variable& b) {
   const Tensor& bv = b->value();
   const int64_t rows = av.rows(), cols = av.cols();
   constexpr float kEps = 1e-12f;
-  // Per-column norms and dots.
+  // Per-column norms and dots. Column-partitioned: each column's fold runs
+  // on one thread in ascending row order, matching the serial reference.
   std::vector<double> na(cols, 0.0), nb(cols, 0.0), dot(cols, 0.0);
-  for (int64_t i = 0; i < rows; ++i) {
-    const float* ra = av.RowData(i);
-    const float* rb = bv.RowData(i);
-    for (int64_t j = 0; j < cols; ++j) {
-      na[j] += double(ra[j]) * ra[j];
-      nb[j] += double(rb[j]) * rb[j];
-      dot[j] += double(ra[j]) * rb[j];
-    }
-  }
+  ParallelFor(
+      0, cols, GrainFromCost(6 * rows),
+      [&](int64_t j0, int64_t j1) {
+        for (int64_t i = 0; i < rows; ++i) {
+          const float* ra = av.RowData(i);
+          const float* rb = bv.RowData(i);
+          for (int64_t j = j0; j < j1; ++j) {
+            na[j] += double(ra[j]) * ra[j];
+            nb[j] += double(rb[j]) * rb[j];
+            dot[j] += double(ra[j]) * rb[j];
+          }
+        }
+      },
+      "ops.cosine_cols");
   double total = 0.0;
   std::vector<float> cosv(cols, 0.0f), inv_na(cols, 0.0f), inv_nb(cols, 0.0f);
   std::vector<bool> valid(cols, false);
@@ -541,35 +615,45 @@ Variable CosineColumnDistance(const Variable& a, const Variable& b) {
     const int64_t r = av2.rows(), c = av2.cols();
     // d(1-cos)/du_j = -(v_j/(|u||v|) - cos * u_j/|u|²)
     if (pa->requires_grad()) {
-      Tensor g(r, c);
-      for (int64_t i = 0; i < r; ++i) {
-        const float* ua = av2.RowData(i);
-        const float* ub = bv2.RowData(i);
-        float* gr = g.RowData(i);
-        for (int64_t j = 0; j < c; ++j) {
-          if (!valid[static_cast<size_t>(j)]) continue;
-          const float ia = inv_na[static_cast<size_t>(j)];
-          const float ib = inv_nb[static_cast<size_t>(j)];
-          const float cs = cosv[static_cast<size_t>(j)];
-          gr[j] = -scale * (ub[j] * ia * ib - cs * ua[j] * ia * ia);
-        }
-      }
+      Tensor g(r, c);  // Zeroed: degenerate columns keep zero gradient.
+      ParallelFor(
+          0, r, GrainFromCost(6 * c),
+          [&](int64_t r0, int64_t r1) {
+            for (int64_t i = r0; i < r1; ++i) {
+              const float* ua = av2.RowData(i);
+              const float* ub = bv2.RowData(i);
+              float* gr = g.RowData(i);
+              for (int64_t j = 0; j < c; ++j) {
+                if (!valid[static_cast<size_t>(j)]) continue;
+                const float ia = inv_na[static_cast<size_t>(j)];
+                const float ib = inv_nb[static_cast<size_t>(j)];
+                const float cs = cosv[static_cast<size_t>(j)];
+                gr[j] = -scale * (ub[j] * ia * ib - cs * ua[j] * ia * ia);
+              }
+            }
+          },
+          "ops.cosine_bwd");
       pa->AccumulateGrad(g);
     }
     if (pb->requires_grad()) {
       Tensor g(r, c);
-      for (int64_t i = 0; i < r; ++i) {
-        const float* ua = av2.RowData(i);
-        const float* ub = bv2.RowData(i);
-        float* gr = g.RowData(i);
-        for (int64_t j = 0; j < c; ++j) {
-          if (!valid[static_cast<size_t>(j)]) continue;
-          const float ia = inv_na[static_cast<size_t>(j)];
-          const float ib = inv_nb[static_cast<size_t>(j)];
-          const float cs = cosv[static_cast<size_t>(j)];
-          gr[j] = -scale * (ua[j] * ia * ib - cs * ub[j] * ib * ib);
-        }
-      }
+      ParallelFor(
+          0, r, GrainFromCost(6 * c),
+          [&](int64_t r0, int64_t r1) {
+            for (int64_t i = r0; i < r1; ++i) {
+              const float* ua = av2.RowData(i);
+              const float* ub = bv2.RowData(i);
+              float* gr = g.RowData(i);
+              for (int64_t j = 0; j < c; ++j) {
+                if (!valid[static_cast<size_t>(j)]) continue;
+                const float ia = inv_na[static_cast<size_t>(j)];
+                const float ib = inv_nb[static_cast<size_t>(j)];
+                const float cs = cosv[static_cast<size_t>(j)];
+                gr[j] = -scale * (ua[j] * ia * ib - cs * ub[j] * ib * ib);
+              }
+            }
+          },
+          "ops.cosine_bwd");
       pb->AccumulateGrad(g);
     }
   });
@@ -578,37 +662,54 @@ Variable CosineColumnDistance(const Variable& a, const Variable& b) {
 
 Variable RowsDotRows(const Variable& a, const Variable& b) {
   MCOND_CHECK(a->value().SameShape(b->value())) << "RowsDotRows mismatch";
-  Tensor v(a->rows(), 1);
-  for (int64_t i = 0; i < a->rows(); ++i) {
-    const float* ra = a->value().RowData(i);
-    const float* rb = b->value().RowData(i);
-    double acc = 0.0;
-    for (int64_t j = 0; j < a->cols(); ++j) acc += double(ra[j]) * rb[j];
-    v.At(i, 0) = static_cast<float>(acc);
-  }
+  Tensor v = Tensor::Uninitialized(a->rows(), 1);
+  const Tensor& at = a->value();
+  const Tensor& bt = b->value();
+  ParallelFor(
+      0, a->rows(), GrainFromCost(2 * a->cols()),
+      [&](int64_t r0, int64_t r1) {
+        for (int64_t i = r0; i < r1; ++i) {
+          const float* ra = at.RowData(i);
+          const float* rb = bt.RowData(i);
+          double acc = 0.0;
+          for (int64_t j = 0; j < at.cols(); ++j) acc += double(ra[j]) * rb[j];
+          v.At(i, 0) = static_cast<float>(acc);
+        }
+      },
+      "ops.rows_dot_rows");
   Variable out = MakeOp(std::move(v), {a, b});
   VariableNode* o = out.get();
   Variable pa = a, pb = b;
   out->set_backward_fn([o, pa, pb]() {
     const Tensor& g = o->grad();
     if (pa->requires_grad()) {
-      Tensor ga(pa->rows(), pa->cols());
-      for (int64_t i = 0; i < ga.rows(); ++i) {
-        const float s = g.At(i, 0);
-        const float* rb = pb->value().RowData(i);
-        float* gr = ga.RowData(i);
-        for (int64_t j = 0; j < ga.cols(); ++j) gr[j] = s * rb[j];
-      }
+      Tensor ga = Tensor::Uninitialized(pa->rows(), pa->cols());
+      ParallelFor(
+          0, ga.rows(), GrainFromCost(2 * ga.cols()),
+          [&](int64_t r0, int64_t r1) {
+            for (int64_t i = r0; i < r1; ++i) {
+              const float s = g.At(i, 0);
+              const float* rb = pb->value().RowData(i);
+              float* gr = ga.RowData(i);
+              for (int64_t j = 0; j < ga.cols(); ++j) gr[j] = s * rb[j];
+            }
+          },
+          "ops.rows_dot_rows_bwd");
       pa->AccumulateGrad(ga);
     }
     if (pb->requires_grad()) {
-      Tensor gb(pb->rows(), pb->cols());
-      for (int64_t i = 0; i < gb.rows(); ++i) {
-        const float s = g.At(i, 0);
-        const float* ra = pa->value().RowData(i);
-        float* gr = gb.RowData(i);
-        for (int64_t j = 0; j < gb.cols(); ++j) gr[j] = s * ra[j];
-      }
+      Tensor gb = Tensor::Uninitialized(pb->rows(), pb->cols());
+      ParallelFor(
+          0, gb.rows(), GrainFromCost(2 * gb.cols()),
+          [&](int64_t r0, int64_t r1) {
+            for (int64_t i = r0; i < r1; ++i) {
+              const float s = g.At(i, 0);
+              const float* ra = pa->value().RowData(i);
+              float* gr = gb.RowData(i);
+              for (int64_t j = 0; j < gb.cols(); ++j) gr[j] = s * ra[j];
+            }
+          },
+          "ops.rows_dot_rows_bwd");
       pb->AccumulateGrad(gb);
     }
   });
@@ -648,6 +749,9 @@ Variable Dropout(const Variable& a, float p, Rng& rng, bool training) {
   Tensor mask(a->rows(), a->cols());
   const float keep_inv = 1.0f / (1.0f - p);
   float* pm = mask.data();
+  // Mask generation is serial on purpose: the RNG draw sequence defines the
+  // mask, and splitting it across threads would change results with the
+  // thread count. The masked multiply below is the parallel part.
   for (int64_t i = 0; i < mask.size(); ++i) {
     pm[i] = rng.Bernoulli(1.0 - p) ? keep_inv : 0.0f;
   }

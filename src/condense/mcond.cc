@@ -6,6 +6,7 @@
 #include "condense/dense_ops.h"
 #include "condense/gradient_matching.h"
 #include "condense/relay_sgc.h"
+#include "core/parallel.h"
 #include "core/tensor_ops.h"
 #include "graph/compose.h"
 #include "graph/sampling.h"
@@ -118,10 +119,12 @@ MCondResult RunMCond(const Graph& original, const HeldOutBatch& support,
   obs::Series& loss_str_series = obs::GetSeries("mcond.condense.loss_str");
   obs::Series& loss_m_series = obs::GetSeries("mcond.condense.loss_m");
   obs::Gauge& round_gauge = obs::GetGauge("mcond.condense.round");
+  const int pool_threads = ThreadPool::Global().NumThreads();
+  obs::GetGauge("mcond.pool.threads").Set(static_cast<double>(pool_threads));
   MCOND_LOG(INFO) << "mcond: condensing " << n_orig << " nodes -> "
                   << num_synthetic << " synthetic (" << config.outer_rounds
                   << " rounds, learn_mapping=" << config.learn_mapping
-                  << ")";
+                  << ", threads=" << pool_threads << ")";
 
   for (int64_t round = 0; round < config.outer_rounds; ++round) {
     obs::TraceSpan round_span("condense.round");

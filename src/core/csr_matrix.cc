@@ -2,8 +2,24 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
+
+#include "core/kernel_stats.h"
+#include "core/parallel.h"
 
 namespace mcond {
+
+namespace {
+
+using internal::KernelScope;
+
+/// Grain so each SpMM chunk gets ~64K float-ops even on very sparse rows.
+int64_t SpmmGrain(int64_t rows, int64_t nnz, int64_t d) {
+  const int64_t cost_per_row = 2 * d * (nnz / std::max<int64_t>(rows, 1) + 1);
+  return GrainFromCost(cost_per_row);
+}
+
+}  // namespace
 
 CsrMatrix CsrMatrix::FromTriplets(int64_t rows, int64_t cols,
                                   std::vector<Triplet> triplets) {
@@ -87,18 +103,100 @@ bool CsrMatrix::HasEntry(int64_t r, int64_t c) const {
 
 std::vector<float> CsrMatrix::RowSums() const {
   std::vector<float> sums(static_cast<size_t>(rows_), 0.0f);
-  for (int64_t r = 0; r < rows_; ++r) {
-    double acc = 0.0;
-    for (int64_t k = row_ptr_[static_cast<size_t>(r)];
-         k < row_ptr_[static_cast<size_t>(r) + 1]; ++k) {
-      acc += values_[static_cast<size_t>(k)];
-    }
-    sums[static_cast<size_t>(r)] = static_cast<float>(acc);
-  }
+  ParallelFor(
+      0, rows_, SpmmGrain(rows_, Nnz(), /*d=*/1),
+      [&](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+          double acc = 0.0;
+          for (int64_t k = row_ptr_[static_cast<size_t>(r)];
+               k < row_ptr_[static_cast<size_t>(r) + 1]; ++k) {
+            acc += values_[static_cast<size_t>(k)];
+          }
+          sums[static_cast<size_t>(r)] = static_cast<float>(acc);
+        }
+      },
+      "core.row_sums");
   return sums;
 }
 
 Tensor CsrMatrix::SpMM(const Tensor& x) const {
+  MCOND_CHECK_EQ(cols_, x.rows()) << "SpMM shape mismatch";
+  const int64_t d = x.cols();
+  KernelScope scope("core.spmm", "mcond.kernel.spmm_us", 2 * Nnz() * d);
+  Tensor y(rows_, d);
+  ParallelFor(
+      0, rows_, SpmmGrain(rows_, Nnz(), d),
+      [&](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+          float* yrow = y.RowData(r);
+          for (int64_t k = row_ptr_[static_cast<size_t>(r)];
+               k < row_ptr_[static_cast<size_t>(r) + 1]; ++k) {
+            const float v = values_[static_cast<size_t>(k)];
+            const float* xrow = x.RowData(col_idx_[static_cast<size_t>(k)]);
+            for (int64_t j = 0; j < d; ++j) yrow[j] += v * xrow[j];
+          }
+        }
+      },
+      "core.spmm");
+  return y;
+}
+
+const CsrMatrix::TransposedView& CsrMatrix::EnsureTransposedView() const {
+  if (tview_) return *tview_;
+  MCOND_CHECK_LE(rows_, std::numeric_limits<int32_t>::max());
+  auto view = std::make_shared<TransposedView>();
+  const size_t nnz = values_.size();
+  view->col_ptr.assign(static_cast<size_t>(cols_) + 1, 0);
+  for (const int32_t c : col_idx_) {
+    ++view->col_ptr[static_cast<size_t>(c) + 1];
+  }
+  for (size_t c = 1; c < view->col_ptr.size(); ++c) {
+    view->col_ptr[c] += view->col_ptr[c - 1];
+  }
+  view->src_row.resize(nnz);
+  view->values.resize(nnz);
+  // Walking rows in ascending order fills each column's slice in ascending
+  // source-row order — the property SpMMTransposed's determinism rests on.
+  std::vector<int64_t> cursor(view->col_ptr.begin(),
+                              view->col_ptr.end() - 1);
+  for (int64_t r = 0; r < rows_; ++r) {
+    for (int64_t k = row_ptr_[static_cast<size_t>(r)];
+         k < row_ptr_[static_cast<size_t>(r) + 1]; ++k) {
+      const size_t c = static_cast<size_t>(col_idx_[static_cast<size_t>(k)]);
+      const size_t pos = static_cast<size_t>(cursor[c]++);
+      view->src_row[pos] = static_cast<int32_t>(r);
+      view->values[pos] = values_[static_cast<size_t>(k)];
+    }
+  }
+  tview_ = std::move(view);
+  return *tview_;
+}
+
+Tensor CsrMatrix::SpMMTransposed(const Tensor& x) const {
+  MCOND_CHECK_EQ(rows_, x.rows()) << "SpMMTransposed shape mismatch";
+  const int64_t d = x.cols();
+  KernelScope scope("core.spmm_t", "mcond.kernel.spmm_t_us", 2 * Nnz() * d);
+  const TransposedView& tv = EnsureTransposedView();
+  Tensor y(cols_, d);
+  ParallelFor(
+      0, cols_, SpmmGrain(cols_, Nnz(), d),
+      [&](int64_t c0, int64_t c1) {
+        for (int64_t c = c0; c < c1; ++c) {
+          float* yrow = y.RowData(c);
+          for (int64_t k = tv.col_ptr[static_cast<size_t>(c)];
+               k < tv.col_ptr[static_cast<size_t>(c) + 1]; ++k) {
+            const float v = tv.values[static_cast<size_t>(k)];
+            const float* xrow =
+                x.RowData(tv.src_row[static_cast<size_t>(k)]);
+            for (int64_t j = 0; j < d; ++j) yrow[j] += v * xrow[j];
+          }
+        }
+      },
+      "core.spmm_t");
+  return y;
+}
+
+Tensor CsrMatrix::SpMMSerial(const Tensor& x) const {
   MCOND_CHECK_EQ(cols_, x.rows()) << "SpMM shape mismatch";
   Tensor y(rows_, x.cols());
   const int64_t d = x.cols();
@@ -114,7 +212,7 @@ Tensor CsrMatrix::SpMM(const Tensor& x) const {
   return y;
 }
 
-Tensor CsrMatrix::SpMMTransposed(const Tensor& x) const {
+Tensor CsrMatrix::SpMMTransposedSerial(const Tensor& x) const {
   MCOND_CHECK_EQ(rows_, x.rows()) << "SpMMTransposed shape mismatch";
   Tensor y(cols_, x.cols());
   const int64_t d = x.cols();
@@ -188,10 +286,21 @@ Tensor CsrMatrix::ToDense() const {
   return d;
 }
 
-CsrMatrix CsrMatrix::Scaled(float s) const {
-  CsrMatrix out = *this;
-  for (float& v : out.values_) v *= s;
+CsrMatrix CsrMatrix::WithValues(std::vector<float> new_values) const {
+  MCOND_CHECK_EQ(static_cast<int64_t>(new_values.size()), Nnz());
+  CsrMatrix out;
+  out.rows_ = rows_;
+  out.cols_ = cols_;
+  out.row_ptr_ = row_ptr_;
+  out.col_idx_ = col_idx_;
+  out.values_ = std::move(new_values);
   return out;
+}
+
+CsrMatrix CsrMatrix::Scaled(float s) const {
+  std::vector<float> vals(values_);
+  for (float& v : vals) v *= s;
+  return WithValues(std::move(vals));
 }
 
 CsrMatrix CsrMatrix::Thresholded(float threshold) const {

@@ -2,6 +2,7 @@
 #define MCOND_CORE_CSR_MATRIX_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/tensor.h"
@@ -28,6 +29,29 @@ class CsrMatrix {
   /// Constructs an empty 0×0 matrix.
   CsrMatrix() : rows_(0), cols_(0), row_ptr_(1, 0) {}
 
+  /// Copies share no derived state: the lazily-built transposed view is
+  /// dropped so a copy that later mutates values (Scaled, mutable_values)
+  /// cannot observe a stale cache. Moves transfer the cache.
+  CsrMatrix(const CsrMatrix& other)
+      : rows_(other.rows_),
+        cols_(other.cols_),
+        row_ptr_(other.row_ptr_),
+        col_idx_(other.col_idx_),
+        values_(other.values_) {}
+  CsrMatrix& operator=(const CsrMatrix& other) {
+    if (this != &other) {
+      rows_ = other.rows_;
+      cols_ = other.cols_;
+      row_ptr_ = other.row_ptr_;
+      col_idx_ = other.col_idx_;
+      values_ = other.values_;
+      tview_.reset();
+    }
+    return *this;
+  }
+  CsrMatrix(CsrMatrix&&) noexcept = default;
+  CsrMatrix& operator=(CsrMatrix&&) noexcept = default;
+
   /// Builds from possibly-unsorted triplets; duplicate (row, col) pairs are
   /// summed, and explicit zeros produced by summation are kept (they still
   /// occupy storage, mirroring real sparse libraries).
@@ -47,7 +71,15 @@ class CsrMatrix {
   const std::vector<int64_t>& row_ptr() const { return row_ptr_; }
   const std::vector<int32_t>& col_idx() const { return col_idx_; }
   const std::vector<float>& values() const { return values_; }
-  std::vector<float>& mutable_values() { return values_; }
+  std::vector<float>& mutable_values() {
+    tview_.reset();  // Derived caches no longer match once values change.
+    return values_;
+  }
+
+  /// Copy of this matrix with the same sparsity structure and the given
+  /// values (size must equal Nnz()). O(nnz) with no re-sort — the fast
+  /// path for normalization, which only rescales entries.
+  CsrMatrix WithValues(std::vector<float> new_values) const;
 
   /// Value at (r, c); 0 if not stored. O(log nnz(row)) via binary search.
   float At(int64_t r, int64_t c) const;
@@ -62,10 +94,22 @@ class CsrMatrix {
   std::vector<float> RowSums() const;
 
   /// Y = this · X where X is dense. The core message-passing kernel.
+  /// Row-parallel on the global thread pool; bit-identical to
+  /// SpMMSerial at every thread count.
   Tensor SpMM(const Tensor& x) const;
 
-  /// Y = thisᵀ · X without materializing the transpose.
+  /// Y = thisᵀ · X. Gather-parallel over OUTPUT rows via a lazily built
+  /// (and cached) transposed index, so there are no scatter races and each
+  /// output element keeps the serial ascending-source-row accumulation
+  /// order — bit-identical to SpMMTransposedSerial at every thread count.
+  /// The cached index makes repeated backward passes O(nnz·d) with no
+  /// rebuild; building is not safe to race from two threads' FIRST calls
+  /// on the same matrix (kernels are dispatched from one thread here).
   Tensor SpMMTransposed(const Tensor& x) const;
+
+  /// Retained single-threaded reference kernels (tests, bench baselines).
+  Tensor SpMMSerial(const Tensor& x) const;
+  Tensor SpMMTransposedSerial(const Tensor& x) const;
 
   /// Structural transpose.
   CsrMatrix Transpose() const;
@@ -92,11 +136,23 @@ class CsrMatrix {
   bool HasEntry(int64_t r, int64_t c) const;
 
  private:
+  /// CSC-style view of this matrix: for each column, the source rows (in
+  /// ascending order) and values of the entries in that column. Built
+  /// lazily by SpMMTransposed, invalidated by mutation (copy ctor,
+  /// mutable_values).
+  struct TransposedView {
+    std::vector<int64_t> col_ptr;  // cols_ + 1 offsets
+    std::vector<int32_t> src_row;  // ascending within each column
+    std::vector<float> values;
+  };
+  const TransposedView& EnsureTransposedView() const;
+
   int64_t rows_;
   int64_t cols_;
   std::vector<int64_t> row_ptr_;
   std::vector<int32_t> col_idx_;
   std::vector<float> values_;
+  mutable std::shared_ptr<const TransposedView> tview_;
 };
 
 }  // namespace mcond

@@ -1,0 +1,40 @@
+#ifndef MCOND_CORE_KERNEL_STATS_H_
+#define MCOND_CORE_KERNEL_STATS_H_
+
+#include <cstdint>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace mcond {
+namespace internal {
+
+/// Kernel calls below this much work (flops / touched floats) run
+/// uninstrumented — no clock reads, no histogram lookup — so tiny ops in
+/// tight loops pay nothing. Above it, each call records one sample into a
+/// `mcond.kernel.*_us` histogram and, when tracing is enabled, a span on
+/// the calling thread's track.
+constexpr int64_t kKernelStatsMinWork = int64_t{1} << 18;
+
+class KernelScope {
+ public:
+  KernelScope(const char* span_name, const char* hist_name, int64_t work)
+      : span_(span_name, /*always_time=*/work >= kKernelStatsMinWork),
+        hist_name_(hist_name),
+        record_(work >= kKernelStatsMinWork) {}
+  ~KernelScope() {
+    if (record_) obs::GetHistogram(hist_name_).Record(span_.ElapsedMicros());
+  }
+  KernelScope(const KernelScope&) = delete;
+  KernelScope& operator=(const KernelScope&) = delete;
+
+ private:
+  obs::TraceSpan span_;
+  const char* hist_name_;
+  bool record_;
+};
+
+}  // namespace internal
+}  // namespace mcond
+
+#endif  // MCOND_CORE_KERNEL_STATS_H_

@@ -1,0 +1,233 @@
+#include "core/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace mcond {
+
+namespace {
+
+/// Set while a thread is executing chunk bodies; nested ParallelFor calls
+/// from such a thread run inline instead of deadlocking on the pool.
+thread_local bool tls_in_parallel_region = false;
+
+/// A job dispatch never hands a thread more than this many chunks on
+/// average; tiny grains are widened instead of flooding the queue.
+constexpr int64_t kMaxChunksPerThread = 8;
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  /// Serializes whole RunRange dispatches: two top-level threads issuing
+  /// ParallelFor simultaneously queue up instead of corrupting the single
+  /// job slot. Uncontended in the common single-orchestrator case.
+  std::mutex dispatch_mu;
+  std::mutex mu;
+  std::condition_variable work_cv;  // workers: a new job generation exists
+  std::condition_variable done_cv;  // caller: chunks done, workers retired
+  std::vector<std::thread> workers;
+  bool shutdown = false;
+
+  // Current job. Written by the caller under `mu` (after waiting for
+  // active_workers == 0), read by workers under `mu` when they observe a
+  // new generation; chunk claiming is the only lock-free part.
+  uint64_t generation = 0;
+  RangeFn fn = nullptr;
+  void* ctx = nullptr;
+  const char* trace_name = nullptr;
+  int64_t begin = 0;
+  int64_t end = 0;
+  int64_t grain = 1;
+  int64_t num_chunks = 0;
+  std::atomic<int64_t> next_chunk{0};
+  int64_t completed_chunks = 0;  // guarded by mu
+  int active_workers = 0;        // workers currently draining; guarded by mu
+
+  std::atomic<int> num_threads{1};
+
+  struct JobView {
+    RangeFn fn;
+    void* ctx;
+    const char* trace_name;
+    int64_t begin;
+    int64_t end;
+    int64_t grain;
+    int64_t num_chunks;
+    std::atomic<int64_t>* next_chunk;
+  };
+
+  JobView ViewLocked() const {
+    return JobView{fn,        ctx,        trace_name,
+                   begin,     end,        grain,
+                   num_chunks, const_cast<std::atomic<int64_t>*>(&next_chunk)};
+  }
+
+  /// Claims and runs chunks of `job` until none remain. Returns the number
+  /// of chunks this thread executed.
+  static int64_t Drain(const JobView& job) {
+    const bool prev = tls_in_parallel_region;
+    tls_in_parallel_region = true;
+    std::optional<obs::TraceSpan> span;
+    int64_t ran = 0;
+    for (;;) {
+      const int64_t c = job.next_chunk->fetch_add(1, std::memory_order_relaxed);
+      if (c >= job.num_chunks) break;
+      if (!span && job.trace_name != nullptr) span.emplace(job.trace_name);
+      const int64_t b = job.begin + c * job.grain;
+      const int64_t e = std::min(job.end, b + job.grain);
+      job.fn(job.ctx, b, e);
+      ++ran;
+    }
+    tls_in_parallel_region = prev;
+    return ran;
+  }
+
+  void WorkerLoop() {
+    uint64_t seen = 0;
+    for (;;) {
+      JobView job{};
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        work_cv.wait(lock,
+                     [&] { return shutdown || generation != seen; });
+        if (shutdown) return;
+        seen = generation;
+        ++active_workers;
+        job = ViewLocked();
+      }
+      const int64_t ran = Drain(job);
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        completed_chunks += ran;
+        --active_workers;
+        done_cv.notify_all();
+      }
+    }
+  }
+
+  void Start(int n) {
+    num_threads.store(n, std::memory_order_relaxed);
+    shutdown = false;
+    workers.reserve(static_cast<size_t>(n > 0 ? n - 1 : 0));
+    for (int i = 1; i < n; ++i) {
+      workers.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  void Stop() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      shutdown = true;
+    }
+    work_cv.notify_all();
+    for (std::thread& t : workers) t.join();
+    workers.clear();
+  }
+};
+
+ThreadPool::ThreadPool() : impl_(new Impl) {
+  impl_->Start(DefaultNumThreads());
+}
+
+ThreadPool::~ThreadPool() {
+  impl_->Stop();
+  delete impl_;
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool pool;
+  return pool;
+}
+
+int ThreadPool::DefaultNumThreads() {
+  if (const char* env = std::getenv("MCOND_NUM_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1) {
+      return static_cast<int>(std::min<long>(v, 1024));
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+int ThreadPool::NumThreads() const {
+  return impl_->num_threads.load(std::memory_order_relaxed);
+}
+
+void ThreadPool::SetNumThreads(int n) {
+  // Clamp rather than crash: callers pass user-supplied widths (--threads,
+  // benchmark sweeps) and "too low" has an obvious safe meaning.
+  n = std::max(1, std::min(n, 1024));
+  impl_->Stop();
+  impl_->Start(n);
+}
+
+void ThreadPool::RunRange(int64_t begin, int64_t end, int64_t grain,
+                          RangeFn fn, void* ctx, const char* trace_name) {
+  const int64_t range = end - begin;
+  if (range <= 0) return;
+  if (grain < 1) grain = 1;
+  const int threads = NumThreads();
+  if (threads <= 1 || range <= grain || tls_in_parallel_region) {
+    const bool prev = tls_in_parallel_region;
+    tls_in_parallel_region = true;
+    fn(ctx, begin, end);
+    tls_in_parallel_region = prev;
+    return;
+  }
+  // Widen tiny grains so a job dispatches at most kMaxChunksPerThread
+  // chunks per thread. Chunk boundaries never affect results: each chunk
+  // owns a disjoint output range (see header contract).
+  const int64_t min_grain =
+      (range + threads * kMaxChunksPerThread - 1) /
+      (threads * kMaxChunksPerThread);
+  grain = std::max(grain, min_grain);
+  const int64_t num_chunks = (range + grain - 1) / grain;
+
+  Impl& im = *impl_;
+  std::lock_guard<std::mutex> dispatch_lock(im.dispatch_mu);
+  Impl::JobView job{};
+  {
+    std::unique_lock<std::mutex> lock(im.mu);
+    // A worker may still be observing the previous job's fields (it ran
+    // out of chunks but has not retired); wait it out before mutating.
+    im.done_cv.wait(lock, [&] { return im.active_workers == 0; });
+    im.fn = fn;
+    im.ctx = ctx;
+    im.trace_name = trace_name;
+    im.begin = begin;
+    im.end = end;
+    im.grain = grain;
+    im.num_chunks = num_chunks;
+    im.next_chunk.store(0, std::memory_order_relaxed);
+    im.completed_chunks = 0;
+    ++im.generation;
+    job = im.ViewLocked();
+  }
+  im.work_cv.notify_all();
+  obs::GetCounter("mcond.pool.jobs").Increment();
+  obs::GetCounter("mcond.pool.tasks").Increment(num_chunks);
+
+  const int64_t ran = Impl::Drain(job);
+  {
+    std::unique_lock<std::mutex> lock(im.mu);
+    im.completed_chunks += ran;
+    im.done_cv.wait(lock, [&] {
+      return im.completed_chunks == im.num_chunks && im.active_workers == 0;
+    });
+  }
+}
+
+}  // namespace mcond

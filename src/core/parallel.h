@@ -1,0 +1,103 @@
+#ifndef MCOND_CORE_PARALLEL_H_
+#define MCOND_CORE_PARALLEL_H_
+
+#include <cstdint>
+
+/// Parallel compute substrate: a process-global thread pool plus a
+/// deterministic ParallelFor.
+///
+///   ParallelFor(0, rows, grain, [&](int64_t r0, int64_t r1) {
+///     for (int64_t r = r0; r < r1; ++r) ...   // touches only rows [r0, r1)
+///   }, "core.matmul");
+///
+/// Determinism contract: ParallelFor partitions [begin, end) into disjoint
+/// contiguous chunks and invokes `fn` once per chunk, possibly concurrently
+/// from different threads. Callers must write only to locations owned by
+/// their chunk (row-partitioned outputs). Under that rule results are
+/// bit-identical at every thread count, because every output element is
+/// produced by exactly one invocation whose internal arithmetic order does
+/// not depend on the partition. No atomics on float accumulators, no
+/// cross-thread reductions.
+///
+/// The pool is lazily created on first use, sized by the MCOND_NUM_THREADS
+/// environment variable (default: hardware_concurrency). With 1 thread, or
+/// for ranges no larger than `grain`, ParallelFor runs inline on the caller
+/// with zero synchronization. Nested ParallelFor calls (from inside a chunk
+/// body) also run inline, so kernels can call other kernels freely.
+///
+/// Observability: each outer parallel job bumps the `mcond.pool.jobs`
+/// counter and `mcond.pool.tasks` by its chunk count; when tracing is on,
+/// every participating thread opens a TraceSpan named after the job, so
+/// chrome-trace output shows per-thread kernel activity. `trace_name` must
+/// be a string literal (spans do not copy names).
+
+namespace mcond {
+
+class ThreadPool {
+ public:
+  /// The process-global pool. Created on first call; workers are joined at
+  /// process exit.
+  static ThreadPool& Global();
+
+  /// MCOND_NUM_THREADS if set to a positive integer, else
+  /// hardware_concurrency (at least 1).
+  static int DefaultNumThreads();
+
+  int NumThreads() const;
+
+  /// Resizes the pool by joining current workers and spawning new ones.
+  /// Must not race with in-flight ParallelFor calls; intended for tests,
+  /// benchmarks, and CLI startup.
+  void SetNumThreads(int n);
+
+  /// Invokes fn(chunk_begin, chunk_end) over a disjoint partition of
+  /// [begin, end) with chunks of at most `grain` iterations (the final
+  /// chunk may be shorter). See the determinism contract above.
+  template <typename F>
+  void ParallelFor(int64_t begin, int64_t end, int64_t grain, const F& fn,
+                   const char* trace_name = nullptr) {
+    RunRange(begin, end, grain, &InvokeRange<F>,
+             const_cast<void*>(static_cast<const void*>(&fn)), trace_name);
+  }
+
+ private:
+  ThreadPool();
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  using RangeFn = void (*)(void* ctx, int64_t begin, int64_t end);
+
+  template <typename F>
+  static void InvokeRange(void* ctx, int64_t begin, int64_t end) {
+    (*static_cast<const F*>(ctx))(begin, end);
+  }
+
+  void RunRange(int64_t begin, int64_t end, int64_t grain, RangeFn fn,
+                void* ctx, const char* trace_name);
+
+  struct Impl;
+  Impl* impl_;
+};
+
+/// ThreadPool::Global().ParallelFor(...).
+template <typename F>
+void ParallelFor(int64_t begin, int64_t end, int64_t grain, const F& fn,
+                 const char* trace_name = nullptr) {
+  ThreadPool::Global().ParallelFor(begin, end, grain, fn, trace_name);
+}
+
+/// Grain (iterations per chunk) that gives each chunk at least
+/// `min_cost_per_chunk` units of work when one iteration costs
+/// `cost_per_item` units. Units are arbitrary (flops, touched floats);
+/// 1<<16 keeps chunk dispatch overhead under ~1% for memory-bound loops.
+inline int64_t GrainFromCost(int64_t cost_per_item,
+                             int64_t min_cost_per_chunk = int64_t{1} << 16) {
+  if (cost_per_item < 1) cost_per_item = 1;
+  const int64_t g = min_cost_per_chunk / cost_per_item;
+  return g < 1 ? 1 : g;
+}
+
+}  // namespace mcond
+
+#endif  // MCOND_CORE_PARALLEL_H_

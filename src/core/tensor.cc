@@ -17,13 +17,23 @@ Tensor Tensor::Identity(int64_t n) {
   return t;
 }
 
+Tensor Tensor::Uninitialized(int64_t rows, int64_t cols) {
+  MCOND_CHECK_GE(rows, 0);
+  MCOND_CHECK_GE(cols, 0);
+  Tensor t;
+  t.rows_ = rows;
+  t.cols_ = cols;
+  t.data_.resize(static_cast<size_t>(rows * cols));  // default-init: no fill
+  return t;
+}
+
 Tensor Tensor::FromVector(int64_t rows, int64_t cols,
                           std::vector<float> data) {
   MCOND_CHECK_EQ(static_cast<int64_t>(data.size()), rows * cols);
   Tensor t;
   t.rows_ = rows;
   t.cols_ = cols;
-  t.data_ = std::move(data);
+  t.data_.assign(data.begin(), data.end());
   return t;
 }
 

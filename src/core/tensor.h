@@ -2,12 +2,42 @@
 #define MCOND_CORE_TENSOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/logging.h"
 
 namespace mcond {
+
+namespace internal {
+
+/// std::allocator that default-initializes on valueless construct, so
+/// vector::resize leaves float storage uninitialized instead of writing
+/// zeros. Kernels use this (via Tensor::Uninitialized) for write-only
+/// outputs, avoiding the alloc-zero-then-overwrite double pass.
+template <typename T>
+struct DefaultInitAllocator : std::allocator<T> {
+  template <typename U>
+  struct rebind {
+    using other = DefaultInitAllocator<U>;
+  };
+  DefaultInitAllocator() = default;
+  template <typename U>
+  DefaultInitAllocator(const DefaultInitAllocator<U>&) {}  // NOLINT
+
+  template <typename U, typename... Args>
+  void construct(U* p, Args&&... args) {
+    if constexpr (sizeof...(Args) == 0) {
+      ::new (static_cast<void*>(p)) U;  // default-init: no zeroing for float
+    } else {
+      ::new (static_cast<void*>(p)) U(std::forward<Args>(args)...);
+    }
+  }
+};
+
+}  // namespace internal
 
 /// A dense row-major matrix of float. This is the single numeric container
 /// used throughout the library: node feature matrices, GNN weights, mapping
@@ -36,6 +66,15 @@ class Tensor {
 
   /// Named constructors.
   static Tensor Zeros(int64_t rows, int64_t cols) { return Tensor(rows, cols); }
+  /// Zero-filled tensor with the same shape as `like` (kernel scratch and
+  /// accumulator outputs).
+  static Tensor ZeroedLike(const Tensor& like) {
+    return Tensor(like.rows(), like.cols());
+  }
+  /// Allocated but NOT initialized — every entry must be written before it
+  /// is read. For kernel outputs that overwrite the full tensor, this skips
+  /// the zero-fill pass that Tensor(rows, cols) pays.
+  static Tensor Uninitialized(int64_t rows, int64_t cols);
   static Tensor Full(int64_t rows, int64_t cols, float value);
   static Tensor Ones(int64_t rows, int64_t cols) {
     return Full(rows, cols, 1.0f);
@@ -86,7 +125,7 @@ class Tensor {
  private:
   int64_t rows_;
   int64_t cols_;
-  std::vector<float> data_;
+  std::vector<float, internal::DefaultInitAllocator<float>> data_;
 };
 
 }  // namespace mcond

@@ -3,7 +3,118 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/kernel_stats.h"
+#include "core/parallel.h"
+
 namespace mcond {
+
+namespace {
+
+using internal::KernelScope;
+
+/// Cache tile sizes. kKc × kJc is the B panel a MatMul task sweeps
+/// (64 × 256 floats = 64 KiB, comfortably L2-resident); kIc is the input
+/// row block MatMulTransA keeps hot while sweeping its output rows.
+constexpr int64_t kKc = 64;
+constexpr int64_t kJc = 256;
+constexpr int64_t kIc = 128;
+
+/// Flat elementwise loops chunk at this many elements per task.
+constexpr int64_t kElemGrain = int64_t{1} << 15;
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  MCOND_CHECK_EQ(a.cols(), b.rows()) << "MatMul shape mismatch";
+  const int64_t m = a.rows(), k = a.cols(), n = b.cols();
+  KernelScope scope("core.matmul", "mcond.kernel.matmul_us", 2 * m * k * n);
+  Tensor c(m, n);  // Zeroed: rows accumulate across k-tiles.
+  ParallelFor(
+      0, m, GrainFromCost(2 * k * n),
+      [&](int64_t i0, int64_t i1) {
+        // k-tiles ascend in the outermost loop so every element still
+        // accumulates its products in ascending-k order (bit-exact with
+        // serial::MatMul); the j-tile keeps the B panel L2-resident.
+        for (int64_t kt = 0; kt < k; kt += kKc) {
+          const int64_t kt_end = std::min(k, kt + kKc);
+          for (int64_t jt = 0; jt < n; jt += kJc) {
+            const int64_t jlen = std::min(n, jt + kJc) - jt;
+            for (int64_t i = i0; i < i1; ++i) {
+              const float* arow = a.RowData(i);
+              float* crow = c.RowData(i) + jt;
+              for (int64_t p = kt; p < kt_end; ++p) {
+                const float av = arow[p];
+                const float* brow = b.RowData(p) + jt;
+                for (int64_t j = 0; j < jlen; ++j) crow[j] += av * brow[j];
+              }
+            }
+          }
+        }
+      },
+      "core.matmul");
+  return c;
+}
+
+Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
+  MCOND_CHECK_EQ(a.rows(), b.rows()) << "MatMulTransA shape mismatch";
+  const int64_t m = a.rows(), k = a.cols(), n = b.cols();
+  KernelScope scope("core.matmul_ta", "mcond.kernel.matmul_ta_us",
+                    2 * m * k * n);
+  Tensor c(k, n);  // Zeroed: rows accumulate across input-row tiles.
+  // c[p][j] += a[i][p] * b[i][j]. The serial scatter form writes all
+  // output rows while walking input rows, so parallelism goes over output
+  // rows p instead: no write races, and each element keeps the serial
+  // ascending-i accumulation order at any thread count / chunking.
+  ParallelFor(
+      0, k, GrainFromCost(2 * m * n),
+      [&](int64_t p0, int64_t p1) {
+        for (int64_t it = 0; it < m; it += kIc) {
+          const int64_t it_end = std::min(m, it + kIc);
+          for (int64_t jt = 0; jt < n; jt += kJc) {
+            const int64_t jlen = std::min(n, jt + kJc) - jt;
+            for (int64_t p = p0; p < p1; ++p) {
+              float* crow = c.RowData(p) + jt;
+              for (int64_t i = it; i < it_end; ++i) {
+                const float av = a.RowData(i)[p];
+                const float* brow = b.RowData(i) + jt;
+                for (int64_t j = 0; j < jlen; ++j) crow[j] += av * brow[j];
+              }
+            }
+          }
+        }
+      },
+      "core.matmul_ta");
+  return c;
+}
+
+Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
+  MCOND_CHECK_EQ(a.cols(), b.cols()) << "MatMulTransB shape mismatch";
+  const int64_t m = a.rows(), k = a.cols(), n = b.rows();
+  KernelScope scope("core.matmul_tb", "mcond.kernel.matmul_tb_us",
+                    2 * m * k * n);
+  Tensor c = Tensor::Uninitialized(m, n);  // Every element written once.
+  ParallelFor(
+      0, m, GrainFromCost(2 * k * n),
+      [&](int64_t i0, int64_t i1) {
+        for (int64_t jt = 0; jt < n; jt += kKc) {
+          const int64_t jt_end = std::min(n, jt + kKc);
+          for (int64_t i = i0; i < i1; ++i) {
+            const float* arow = a.RowData(i);
+            float* crow = c.RowData(i);
+            for (int64_t j = jt; j < jt_end; ++j) {
+              const float* brow = b.RowData(j);
+              float acc = 0.0f;
+              for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+              crow[j] = acc;
+            }
+          }
+        }
+      },
+      "core.matmul_tb");
+  return c;
+}
+
+namespace serial {
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   MCOND_CHECK_EQ(a.cols(), b.rows()) << "MatMul shape mismatch";
@@ -14,7 +125,6 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
     float* crow = c.RowData(i);
     for (int64_t p = 0; p < k; ++p) {
       const float av = arow[p];
-      if (av == 0.0f) continue;
       const float* brow = b.RowData(p);
       for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
     }
@@ -26,14 +136,11 @@ Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
   MCOND_CHECK_EQ(a.rows(), b.rows()) << "MatMulTransA shape mismatch";
   Tensor c(a.cols(), b.cols());
   const int64_t m = a.rows(), k = a.cols(), n = b.cols();
-  // c[p][j] += a[i][p] * b[i][j]: iterate rows of a and b together; the
-  // inner loop over j stays contiguous.
   for (int64_t i = 0; i < m; ++i) {
     const float* arow = a.RowData(i);
     const float* brow = b.RowData(i);
     for (int64_t p = 0; p < k; ++p) {
       const float av = arow[p];
-      if (av == 0.0f) continue;
       float* crow = c.RowData(p);
       for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
     }
@@ -58,15 +165,39 @@ Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
   return c;
 }
 
+Tensor SoftmaxRows(const Tensor& a) {
+  Tensor out(a.rows(), a.cols());
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    const float* src = a.RowData(i);
+    float* dst = out.RowData(i);
+    float mx = src[0];
+    for (int64_t j = 1; j < a.cols(); ++j) mx = std::max(mx, src[j]);
+    float sum = 0.0f;
+    for (int64_t j = 0; j < a.cols(); ++j) {
+      dst[j] = std::exp(src[j] - mx);
+      sum += dst[j];
+    }
+    const float inv = 1.0f / sum;
+    for (int64_t j = 0; j < a.cols(); ++j) dst[j] *= inv;
+  }
+  return out;
+}
+
+}  // namespace serial
+
 namespace {
 
 template <typename F>
 Tensor Elementwise(const Tensor& a, F f) {
-  Tensor out(a.rows(), a.cols());
+  Tensor out = Tensor::Uninitialized(a.rows(), a.cols());
   const float* src = a.data();
   float* dst = out.data();
-  const int64_t n = a.size();
-  for (int64_t i = 0; i < n; ++i) dst[i] = f(src[i]);
+  ParallelFor(
+      0, a.size(), kElemGrain,
+      [&](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i) dst[i] = f(src[i]);
+      },
+      "core.elementwise");
   return out;
 }
 
@@ -75,12 +206,16 @@ Tensor Binary(const Tensor& a, const Tensor& b, F f) {
   MCOND_CHECK(a.SameShape(b)) << "shape mismatch " << a.rows() << "x"
                               << a.cols() << " vs " << b.rows() << "x"
                               << b.cols();
-  Tensor out(a.rows(), a.cols());
+  Tensor out = Tensor::Uninitialized(a.rows(), a.cols());
   const float* pa = a.data();
   const float* pb = b.data();
   float* dst = out.data();
-  const int64_t n = a.size();
-  for (int64_t i = 0; i < n; ++i) dst[i] = f(pa[i], pb[i]);
+  ParallelFor(
+      0, a.size(), kElemGrain,
+      [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) dst[i] = f(pa[i], pb[i]);
+      },
+      "core.elementwise");
   return out;
 }
 
@@ -106,8 +241,12 @@ void AxpyInPlace(Tensor& a, float s, const Tensor& b) {
   MCOND_CHECK(a.SameShape(b)) << "AxpyInPlace shape mismatch";
   float* pa = a.data();
   const float* pb = b.data();
-  const int64_t n = a.size();
-  for (int64_t i = 0; i < n; ++i) pa[i] += s * pb[i];
+  ParallelFor(
+      0, a.size(), kElemGrain,
+      [&](int64_t begin, int64_t end) {
+        for (int64_t i = begin; i < end; ++i) pa[i] += s * pb[i];
+      },
+      "core.axpy");
 }
 
 Tensor AddRowBroadcast(const Tensor& a, const Tensor& row) {
@@ -115,19 +254,30 @@ Tensor AddRowBroadcast(const Tensor& a, const Tensor& row) {
   MCOND_CHECK_EQ(row.cols(), a.cols());
   Tensor out = a;
   const float* r = row.data();
-  for (int64_t i = 0; i < a.rows(); ++i) {
-    float* orow = out.RowData(i);
-    for (int64_t j = 0; j < a.cols(); ++j) orow[j] += r[j];
-  }
+  ParallelFor(
+      0, a.rows(), GrainFromCost(a.cols()),
+      [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+          float* orow = out.RowData(i);
+          for (int64_t j = 0; j < a.cols(); ++j) orow[j] += r[j];
+        }
+      },
+      "core.add_row_broadcast");
   return out;
 }
 
 Tensor Transpose(const Tensor& a) {
-  Tensor out(a.cols(), a.rows());
-  for (int64_t i = 0; i < a.rows(); ++i) {
-    const float* arow = a.RowData(i);
-    for (int64_t j = 0; j < a.cols(); ++j) out.At(j, i) = arow[j];
-  }
+  Tensor out = Tensor::Uninitialized(a.cols(), a.rows());
+  const int64_t rows = a.rows(), cols = a.cols();
+  ParallelFor(
+      0, cols, GrainFromCost(rows),
+      [&](int64_t c0, int64_t c1) {
+        for (int64_t c = c0; c < c1; ++c) {
+          float* orow = out.RowData(c);
+          for (int64_t i = 0; i < rows; ++i) orow[i] = a.RowData(i)[c];
+        }
+      },
+      "core.transpose");
   return out;
 }
 
@@ -166,36 +316,51 @@ Tensor Abs(const Tensor& a) {
 }
 
 Tensor SoftmaxRows(const Tensor& a) {
-  Tensor out(a.rows(), a.cols());
-  for (int64_t i = 0; i < a.rows(); ++i) {
-    const float* src = a.RowData(i);
-    float* dst = out.RowData(i);
-    float mx = src[0];
-    for (int64_t j = 1; j < a.cols(); ++j) mx = std::max(mx, src[j]);
-    float sum = 0.0f;
-    for (int64_t j = 0; j < a.cols(); ++j) {
-      dst[j] = std::exp(src[j] - mx);
-      sum += dst[j];
-    }
-    const float inv = 1.0f / sum;
-    for (int64_t j = 0; j < a.cols(); ++j) dst[j] *= inv;
-  }
+  Tensor out = Tensor::Uninitialized(a.rows(), a.cols());
+  const int64_t cols = a.cols();
+  ParallelFor(
+      0, a.rows(), GrainFromCost(4 * cols),
+      [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+          const float* src = a.RowData(i);
+          float* dst = out.RowData(i);
+          float mx = src[0];
+          for (int64_t j = 1; j < cols; ++j) mx = std::max(mx, src[j]);
+          float sum = 0.0f;
+          for (int64_t j = 0; j < cols; ++j) {
+            dst[j] = std::exp(src[j] - mx);
+            sum += dst[j];
+          }
+          const float inv = 1.0f / sum;
+          for (int64_t j = 0; j < cols; ++j) dst[j] *= inv;
+        }
+      },
+      "core.softmax");
   return out;
 }
 
 std::vector<int64_t> ArgmaxRows(const Tensor& a) {
   std::vector<int64_t> out(static_cast<size_t>(a.rows()));
-  for (int64_t i = 0; i < a.rows(); ++i) {
-    const float* row = a.RowData(i);
-    int64_t best = 0;
-    for (int64_t j = 1; j < a.cols(); ++j) {
-      if (row[j] > row[best]) best = j;
-    }
-    out[static_cast<size_t>(i)] = best;
-  }
+  const int64_t cols = a.cols();
+  ParallelFor(
+      0, a.rows(), GrainFromCost(cols),
+      [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+          const float* row = a.RowData(i);
+          int64_t best = 0;
+          for (int64_t j = 1; j < cols; ++j) {
+            if (row[j] > row[best]) best = j;
+          }
+          out[static_cast<size_t>(i)] = best;
+        }
+      },
+      "core.argmax");
   return out;
 }
 
+// Whole-tensor reductions stay single-threaded: they fold into one scalar
+// in a fixed order, and a chunked tree reduction would change the result
+// bits. They are O(size) with a double accumulator — never the bottleneck.
 float Sum(const Tensor& a) {
   double acc = 0.0;
   const float* p = a.data();
@@ -224,45 +389,71 @@ float MaxAbs(const Tensor& a) {
 }
 
 Tensor RowSum(const Tensor& a) {
-  Tensor out(a.rows(), 1);
-  for (int64_t i = 0; i < a.rows(); ++i) {
-    const float* row = a.RowData(i);
-    double acc = 0.0;
-    for (int64_t j = 0; j < a.cols(); ++j) acc += row[j];
-    out.At(i, 0) = static_cast<float>(acc);
-  }
+  Tensor out = Tensor::Uninitialized(a.rows(), 1);
+  const int64_t cols = a.cols();
+  ParallelFor(
+      0, a.rows(), GrainFromCost(cols),
+      [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+          const float* row = a.RowData(i);
+          double acc = 0.0;
+          for (int64_t j = 0; j < cols; ++j) acc += row[j];
+          out.RowData(i)[0] = static_cast<float>(acc);
+        }
+      },
+      "core.rowsum");
   return out;
 }
 
 Tensor RowL2Norm(const Tensor& a) {
-  Tensor out(a.rows(), 1);
-  for (int64_t i = 0; i < a.rows(); ++i) {
-    const float* row = a.RowData(i);
-    double acc = 0.0;
-    for (int64_t j = 0; j < a.cols(); ++j) acc += double(row[j]) * row[j];
-    out.At(i, 0) = static_cast<float>(std::sqrt(acc));
-  }
+  Tensor out = Tensor::Uninitialized(a.rows(), 1);
+  const int64_t cols = a.cols();
+  ParallelFor(
+      0, a.rows(), GrainFromCost(2 * cols),
+      [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+          const float* row = a.RowData(i);
+          double acc = 0.0;
+          for (int64_t j = 0; j < cols; ++j) acc += double(row[j]) * row[j];
+          out.RowData(i)[0] = static_cast<float>(std::sqrt(acc));
+        }
+      },
+      "core.rowl2norm");
   return out;
 }
 
 Tensor ColSum(const Tensor& a) {
   Tensor out(1, a.cols());
   float* dst = out.data();
-  for (int64_t i = 0; i < a.rows(); ++i) {
-    const float* row = a.RowData(i);
-    for (int64_t j = 0; j < a.cols(); ++j) dst[j] += row[j];
-  }
+  const int64_t rows = a.rows();
+  // Column-partitioned: each chunk owns a disjoint slice of the output row
+  // and folds the full row range in ascending order, exactly like serial.
+  ParallelFor(
+      0, a.cols(), GrainFromCost(rows),
+      [&](int64_t j0, int64_t j1) {
+        for (int64_t i = 0; i < rows; ++i) {
+          const float* row = a.RowData(i);
+          for (int64_t j = j0; j < j1; ++j) dst[j] += row[j];
+        }
+      },
+      "core.colsum");
   return out;
 }
 
 Tensor ColL2Norm(const Tensor& a) {
   Tensor sq(1, a.cols());
   float* dst = sq.data();
-  for (int64_t i = 0; i < a.rows(); ++i) {
-    const float* row = a.RowData(i);
-    for (int64_t j = 0; j < a.cols(); ++j) dst[j] += row[j] * row[j];
-  }
-  for (int64_t j = 0; j < a.cols(); ++j) dst[j] = std::sqrt(dst[j]);
+  const int64_t rows = a.rows();
+  ParallelFor(
+      0, a.cols(), GrainFromCost(2 * rows),
+      [&](int64_t j0, int64_t j1) {
+        for (int64_t i = 0; i < rows; ++i) {
+          const float* row = a.RowData(i);
+          for (int64_t j = j0; j < j1; ++j) dst[j] += row[j] * row[j];
+        }
+        for (int64_t j = j0; j < j1; ++j) dst[j] = std::sqrt(dst[j]);
+      },
+      "core.coll2norm");
   return sq;
 }
 
@@ -276,7 +467,7 @@ Tensor ConcatRows(const Tensor& top, const Tensor& bottom) {
     if (top.cols() == 0) return bottom;
   }
   MCOND_CHECK_EQ(top.cols(), bottom.cols()) << "ConcatRows width mismatch";
-  Tensor out(top.rows() + bottom.rows(), top.cols());
+  Tensor out = Tensor::Uninitialized(top.rows() + bottom.rows(), top.cols());
   std::copy(top.data(), top.data() + top.size(), out.data());
   std::copy(bottom.data(), bottom.data() + bottom.size(),
             out.data() + top.size());
@@ -285,7 +476,7 @@ Tensor ConcatRows(const Tensor& top, const Tensor& bottom) {
 
 Tensor ConcatCols(const Tensor& left, const Tensor& right) {
   MCOND_CHECK_EQ(left.rows(), right.rows()) << "ConcatCols height mismatch";
-  Tensor out(left.rows(), left.cols() + right.cols());
+  Tensor out = Tensor::Uninitialized(left.rows(), left.cols() + right.cols());
   for (int64_t i = 0; i < left.rows(); ++i) {
     std::copy(left.RowData(i), left.RowData(i) + left.cols(), out.RowData(i));
     std::copy(right.RowData(i), right.RowData(i) + right.cols(),
@@ -297,19 +488,26 @@ Tensor ConcatCols(const Tensor& left, const Tensor& right) {
 Tensor SliceRows(const Tensor& a, int64_t begin, int64_t end) {
   MCOND_CHECK(begin >= 0 && begin <= end && end <= a.rows())
       << "SliceRows [" << begin << "," << end << ") of " << a.rows();
-  Tensor out(end - begin, a.cols());
+  Tensor out = Tensor::Uninitialized(end - begin, a.cols());
   std::copy(a.RowData(begin), a.RowData(begin) + out.size(), out.data());
   return out;
 }
 
 Tensor GatherRows(const Tensor& a, const std::vector<int64_t>& indices) {
-  Tensor out(static_cast<int64_t>(indices.size()), a.cols());
-  for (size_t i = 0; i < indices.size(); ++i) {
-    const int64_t src = indices[i];
-    MCOND_CHECK(src >= 0 && src < a.rows()) << "GatherRows index " << src;
-    std::copy(a.RowData(src), a.RowData(src) + a.cols(),
-              out.RowData(static_cast<int64_t>(i)));
-  }
+  Tensor out = Tensor::Uninitialized(static_cast<int64_t>(indices.size()),
+                                     a.cols());
+  const int64_t cols = a.cols();
+  ParallelFor(
+      0, static_cast<int64_t>(indices.size()), GrainFromCost(cols),
+      [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+          const int64_t src = indices[static_cast<size_t>(i)];
+          MCOND_CHECK(src >= 0 && src < a.rows())
+              << "GatherRows index " << src;
+          std::copy(a.RowData(src), a.RowData(src) + cols, out.RowData(i));
+        }
+      },
+      "core.gather_rows");
   return out;
 }
 

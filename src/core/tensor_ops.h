@@ -13,15 +13,34 @@ namespace mcond {
 /// recoverable condition. Functions are pure (return a new tensor) unless
 /// named *InPlace.
 
-/// C = A · B. Uses i-k-j loop order so the innermost loop is a contiguous
-/// saxpy the compiler can vectorize.
+/// C = A · B. Cache-blocked (depth × column tiles) and row-parallel on the
+/// global thread pool. Bit-identical to serial::MatMul at every thread
+/// count: each output row is produced by exactly one chunk and every
+/// element accumulates its k-products in ascending order.
 Tensor MatMul(const Tensor& a, const Tensor& b);
 
-/// C = Aᵀ · B without materializing the transpose.
+/// C = Aᵀ · B without materializing the transpose. Parallel over OUTPUT
+/// rows (columns of A) with input-row tiling — the scatter formulation
+/// writes output rows across input rows and would race under naive
+/// row-parallelism. Bit-identical to serial::MatMulTransA.
 Tensor MatMulTransA(const Tensor& a, const Tensor& b);
 
-/// C = A · Bᵀ without materializing the transpose.
+/// C = A · Bᵀ without materializing the transpose. Row-parallel, blocked
+/// over B rows. Bit-identical to serial::MatMulTransB.
 Tensor MatMulTransB(const Tensor& a, const Tensor& b);
+
+/// Retained single-threaded reference kernels. These are the semantic
+/// ground truth the parallel kernels are tested bit-exact against
+/// (tests/parallel_test.cc, tools/check_determinism.sh); they are also the
+/// serial baseline bench_kernels sweeps against. Note no `x == 0` skip:
+/// 0 * inf and 0 * nan must propagate, and the branch mispredicts on
+/// dense data (see docs/performance.md).
+namespace serial {
+Tensor MatMul(const Tensor& a, const Tensor& b);
+Tensor MatMulTransA(const Tensor& a, const Tensor& b);
+Tensor MatMulTransB(const Tensor& a, const Tensor& b);
+Tensor SoftmaxRows(const Tensor& a);
+}  // namespace serial
 
 /// Elementwise arithmetic.
 Tensor Add(const Tensor& a, const Tensor& b);

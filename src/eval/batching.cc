@@ -4,6 +4,7 @@
 #include <numeric>
 #include <unordered_map>
 
+#include "core/parallel.h"
 #include "core/tensor_ops.h"
 
 namespace mcond {
@@ -52,13 +53,24 @@ HeldOutBatch SubsetBatch(const HeldOutBatch& all,
 std::vector<HeldOutBatch> SplitIntoBatches(const HeldOutBatch& all,
                                            int64_t batch_size) {
   MCOND_CHECK_GT(batch_size, 0);
-  std::vector<HeldOutBatch> out;
-  for (int64_t begin = 0; begin < all.size(); begin += batch_size) {
-    const int64_t end = std::min<int64_t>(all.size(), begin + batch_size);
-    std::vector<int64_t> indices(static_cast<size_t>(end - begin));
-    std::iota(indices.begin(), indices.end(), begin);
-    out.push_back(SubsetBatch(all, indices));
-  }
+  const int64_t num_batches =
+      all.size() == 0 ? 0 : (all.size() + batch_size - 1) / batch_size;
+  std::vector<HeldOutBatch> out(static_cast<size_t>(num_batches));
+  // Batches are independent and each lands in its own slot, so building
+  // them in parallel is deterministic: every batch's content depends only
+  // on (all, batch_size), never on which thread built it.
+  ParallelFor(
+      0, num_batches, /*grain=*/1,
+      [&](int64_t b0, int64_t b1) {
+        for (int64_t b = b0; b < b1; ++b) {
+          const int64_t begin = b * batch_size;
+          const int64_t end = std::min<int64_t>(all.size(), begin + batch_size);
+          std::vector<int64_t> indices(static_cast<size_t>(end - begin));
+          std::iota(indices.begin(), indices.end(), begin);
+          out[static_cast<size_t>(b)] = SubsetBatch(all, indices);
+        }
+      },
+      "eval.split_batches");
   return out;
 }
 

@@ -1,8 +1,10 @@
 #include "graph/graph.h"
 
+#include <algorithm>
 #include <cmath>
 #include <unordered_map>
 
+#include "core/parallel.h"
 #include "core/tensor_ops.h"
 #include "obs/trace.h"
 
@@ -33,36 +35,78 @@ CsrMatrix SymNormalize(const CsrMatrix& a, bool add_self_loops) {
   for (size_t i = 0; i < deg.size(); ++i) {
     dinv_sqrt[i] = deg[i] > 0.0f ? 1.0f / std::sqrt(deg[i]) : 0.0f;
   }
-  std::vector<Triplet> t;
-  t.reserve(static_cast<size_t>(tilde.Nnz()));
-  for (int64_t r = 0; r < tilde.rows(); ++r) {
-    for (int64_t k = tilde.row_ptr()[static_cast<size_t>(r)];
-         k < tilde.row_ptr()[static_cast<size_t>(r) + 1]; ++k) {
-      const int64_t c = tilde.col_idx()[static_cast<size_t>(k)];
-      t.push_back({r, c,
-                   tilde.values()[static_cast<size_t>(k)] *
-                       dinv_sqrt[static_cast<size_t>(r)] *
-                       dinv_sqrt[static_cast<size_t>(c)]});
-    }
-  }
-  return CsrMatrix::FromTriplets(tilde.rows(), tilde.cols(), std::move(t));
+  // Normalization never changes the sparsity structure — only the values —
+  // so rescale in place of the triplet rebuild (which re-sorts all nnz).
+  // Row-parallel: each chunk owns a disjoint slice of the value array.
+  const std::vector<int64_t>& rp = tilde.row_ptr();
+  const std::vector<int32_t>& ci = tilde.col_idx();
+  const std::vector<float>& v = tilde.values();
+  std::vector<float> vals(static_cast<size_t>(tilde.Nnz()));
+  ParallelFor(
+      0, tilde.rows(),
+      GrainFromCost(2 * (tilde.Nnz() / std::max<int64_t>(tilde.rows(), 1) + 1)),
+      [&](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+          const float dr = dinv_sqrt[static_cast<size_t>(r)];
+          for (int64_t k = rp[static_cast<size_t>(r)];
+               k < rp[static_cast<size_t>(r) + 1]; ++k) {
+            vals[static_cast<size_t>(k)] =
+                v[static_cast<size_t>(k)] * dr *
+                dinv_sqrt[static_cast<size_t>(ci[static_cast<size_t>(k)])];
+          }
+        }
+      },
+      "graph.sym_normalize");
+  return tilde.WithValues(std::move(vals));
 }
 
 CsrMatrix RowNormalize(const CsrMatrix& a) {
+  MCOND_TRACE_SPAN("graph.row_normalize");
   const std::vector<float> deg = a.RowSums();
-  std::vector<Triplet> t;
-  t.reserve(static_cast<size_t>(a.Nnz()));
+  // Historical semantics: rows whose sum is 0 have their entries DROPPED
+  // from the output. That only changes the structure when such a row has
+  // stored entries (all-zero values); take the slow triplet path then, and
+  // the structure-preserving parallel rescale otherwise.
+  bool drops_entries = false;
   for (int64_t r = 0; r < a.rows(); ++r) {
-    const float d = deg[static_cast<size_t>(r)];
-    if (d == 0.0f) continue;
-    const float inv = 1.0f / d;
-    for (int64_t k = a.row_ptr()[static_cast<size_t>(r)];
-         k < a.row_ptr()[static_cast<size_t>(r) + 1]; ++k) {
-      t.push_back({r, a.col_idx()[static_cast<size_t>(k)],
-                   a.values()[static_cast<size_t>(k)] * inv});
+    if (deg[static_cast<size_t>(r)] == 0.0f && a.RowNnz(r) > 0) {
+      drops_entries = true;
+      break;
     }
   }
-  return CsrMatrix::FromTriplets(a.rows(), a.cols(), std::move(t));
+  if (drops_entries) {
+    std::vector<Triplet> t;
+    t.reserve(static_cast<size_t>(a.Nnz()));
+    for (int64_t r = 0; r < a.rows(); ++r) {
+      const float d = deg[static_cast<size_t>(r)];
+      if (d == 0.0f) continue;
+      const float inv = 1.0f / d;
+      for (int64_t k = a.row_ptr()[static_cast<size_t>(r)];
+           k < a.row_ptr()[static_cast<size_t>(r) + 1]; ++k) {
+        t.push_back({r, a.col_idx()[static_cast<size_t>(k)],
+                     a.values()[static_cast<size_t>(k)] * inv});
+      }
+    }
+    return CsrMatrix::FromTriplets(a.rows(), a.cols(), std::move(t));
+  }
+  const std::vector<int64_t>& rp = a.row_ptr();
+  const std::vector<float>& v = a.values();
+  std::vector<float> vals(static_cast<size_t>(a.Nnz()));
+  ParallelFor(
+      0, a.rows(),
+      GrainFromCost(a.Nnz() / std::max<int64_t>(a.rows(), 1) + 1),
+      [&](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+          const float d = deg[static_cast<size_t>(r)];
+          const float inv = d != 0.0f ? 1.0f / d : 0.0f;
+          for (int64_t k = rp[static_cast<size_t>(r)];
+               k < rp[static_cast<size_t>(r) + 1]; ++k) {
+            vals[static_cast<size_t>(k)] = v[static_cast<size_t>(k)] * inv;
+          }
+        }
+      },
+      "graph.row_normalize");
+  return a.WithValues(std::move(vals));
 }
 
 Graph::Graph(CsrMatrix adjacency, Tensor features,

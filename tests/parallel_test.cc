@@ -1,0 +1,295 @@
+// Determinism contract of the parallel substrate (docs/performance.md):
+// every parallel kernel must be BIT-IDENTICAL to its single-threaded
+// reference at every thread count and for every shape, including the
+// degenerate ones (1×1, single row, single column, prime dimensions that
+// never align with the cache-block tile sizes).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "core/csr_matrix.h"
+#include "core/parallel.h"
+#include "core/rng.h"
+#include "core/tensor_ops.h"
+#include "graph/graph.h"
+
+namespace mcond {
+namespace {
+
+/// Exact float equality, including -0.0 vs +0.0 and NaN bit patterns.
+::testing::AssertionResult BitEqual(const Tensor& a, const Tensor& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    return ::testing::AssertionFailure()
+           << "shape mismatch: " << a.rows() << "x" << a.cols() << " vs "
+           << b.rows() << "x" << b.cols();
+  }
+  if (a.size() == 0) return ::testing::AssertionSuccess();
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < a.size(); ++i) {
+    if (std::memcmp(&pa[i], &pb[i], sizeof(float)) != 0) {
+      return ::testing::AssertionFailure()
+             << "first differing element at flat index " << i << " ("
+             << i / a.cols() << ", " << i % a.cols() << "): " << pa[i]
+             << " vs " << pb[i];
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+/// Restores the pool width after each test so order doesn't matter.
+class ParallelTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    ThreadPool::Global().SetNumThreads(ThreadPool::DefaultNumThreads());
+  }
+};
+
+const int kThreadCounts[] = {1, 3, 16};
+
+// (m, k, n) GEMM shapes: degenerate, prime (misaligned with the 64/128/256
+// block sizes), and one larger-than-one-tile shape.
+struct GemmShape {
+  int64_t m, k, n;
+};
+const GemmShape kGemmShapes[] = {
+    {1, 1, 1}, {1, 7, 1},    {5, 1, 3},     {1, 1, 129},
+    {7, 13, 11}, {31, 67, 29}, {127, 131, 61}, {3, 300, 270},
+};
+
+TEST_F(ParallelTest, MatMulBitExactAcrossThreadCounts) {
+  Rng rng(7);
+  for (const GemmShape& s : kGemmShapes) {
+    const Tensor a = rng.NormalTensor(s.m, s.k);
+    const Tensor b = rng.NormalTensor(s.k, s.n);
+    const Tensor ref = serial::MatMul(a, b);
+    for (int t : kThreadCounts) {
+      ThreadPool::Global().SetNumThreads(t);
+      EXPECT_TRUE(BitEqual(MatMul(a, b), ref))
+          << "shape " << s.m << "x" << s.k << "x" << s.n << " threads " << t;
+    }
+  }
+}
+
+TEST_F(ParallelTest, MatMulTransABitExactAcrossThreadCounts) {
+  Rng rng(8);
+  for (const GemmShape& s : kGemmShapes) {
+    const Tensor a = rng.NormalTensor(s.k, s.m);  // result is aᵀ·b: m×n
+    const Tensor b = rng.NormalTensor(s.k, s.n);
+    const Tensor ref = serial::MatMulTransA(a, b);
+    for (int t : kThreadCounts) {
+      ThreadPool::Global().SetNumThreads(t);
+      EXPECT_TRUE(BitEqual(MatMulTransA(a, b), ref))
+          << "shape " << s.m << "x" << s.k << "x" << s.n << " threads " << t;
+    }
+  }
+}
+
+TEST_F(ParallelTest, MatMulTransBBitExactAcrossThreadCounts) {
+  Rng rng(9);
+  for (const GemmShape& s : kGemmShapes) {
+    const Tensor a = rng.NormalTensor(s.m, s.k);
+    const Tensor b = rng.NormalTensor(s.n, s.k);  // result is a·bᵀ: m×n
+    const Tensor ref = serial::MatMulTransB(a, b);
+    for (int t : kThreadCounts) {
+      ThreadPool::Global().SetNumThreads(t);
+      EXPECT_TRUE(BitEqual(MatMulTransB(a, b), ref))
+          << "shape " << s.m << "x" << s.k << "x" << s.n << " threads " << t;
+    }
+  }
+}
+
+TEST_F(ParallelTest, MatMulPropagatesNonFinites) {
+  // The old kernels skipped a==0 entries, which silently turned 0·inf and
+  // 0·nan into 0. The blocked kernels must propagate them like the naive
+  // triple loop does.
+  Tensor a(1, 2);
+  a.At(0, 0) = 0.0f;
+  a.At(0, 1) = 1.0f;
+  Tensor b(2, 1);
+  b.At(0, 0) = std::numeric_limits<float>::infinity();
+  b.At(1, 0) = 1.0f;
+  const Tensor ref = serial::MatMul(a, b);  // 0·inf + 1 = nan
+  EXPECT_TRUE(std::isnan(ref.At(0, 0)));
+  EXPECT_TRUE(BitEqual(MatMul(a, b), ref));
+}
+
+CsrMatrix RandomSparse(int64_t rows, int64_t cols, int64_t nnz_per_row,
+                       Rng& rng) {
+  std::vector<Triplet> t;
+  for (int64_t r = 0; r < rows; ++r) {
+    for (int64_t k = 0; k < nnz_per_row; ++k) {
+      t.push_back({r, rng.RandInt(0, cols - 1),
+                   static_cast<float>(rng.RandInt(-8, 8)) * 0.25f});
+    }
+  }
+  return CsrMatrix::FromTriplets(rows, cols, std::move(t));
+}
+
+TEST_F(ParallelTest, SpMMBitExactAcrossThreadCounts) {
+  Rng rng(10);
+  for (int64_t rows : {1, 13, 257}) {
+    const CsrMatrix s = RandomSparse(rows, 97, 5, rng);
+    const Tensor x = rng.NormalTensor(97, 33);
+    const Tensor ref = s.SpMMSerial(x);
+    for (int t : kThreadCounts) {
+      ThreadPool::Global().SetNumThreads(t);
+      EXPECT_TRUE(BitEqual(s.SpMM(x), ref)) << rows << " rows, " << t
+                                            << " threads";
+    }
+  }
+}
+
+TEST_F(ParallelTest, SpMMTransposedBitExactAcrossThreadCounts) {
+  Rng rng(11);
+  for (int64_t rows : {1, 13, 257}) {
+    const CsrMatrix s = RandomSparse(rows, 97, 5, rng);
+    const Tensor x = rng.NormalTensor(rows, 33);
+    const Tensor ref = s.SpMMTransposedSerial(x);
+    for (int t : kThreadCounts) {
+      ThreadPool::Global().SetNumThreads(t);
+      EXPECT_TRUE(BitEqual(s.SpMMTransposed(x), ref))
+          << rows << " rows, " << t << " threads";
+    }
+  }
+}
+
+TEST_F(ParallelTest, TransposedViewCacheSurvivesValueMutation) {
+  Rng rng(12);
+  CsrMatrix s = RandomSparse(40, 30, 4, rng);
+  const Tensor x = rng.NormalTensor(40, 8);
+  (void)s.SpMMTransposed(x);  // Builds and caches the transposed view.
+  for (float& v : s.mutable_values()) v *= 2.0f;  // Must invalidate it.
+  EXPECT_TRUE(BitEqual(s.SpMMTransposed(x), s.SpMMTransposedSerial(x)));
+  // Copies must not share the cache with the original either.
+  CsrMatrix copy = s;
+  for (float& v : copy.mutable_values()) v += 1.0f;
+  EXPECT_TRUE(BitEqual(copy.SpMMTransposed(x), copy.SpMMTransposedSerial(x)));
+  EXPECT_TRUE(BitEqual(s.SpMMTransposed(x), s.SpMMTransposedSerial(x)));
+}
+
+TEST_F(ParallelTest, SoftmaxAndElementwiseBitExact) {
+  Rng rng(13);
+  const Tensor a = rng.NormalTensor(61, 37);
+  const Tensor b = rng.NormalTensor(61, 37);
+  const Tensor softmax_ref = serial::SoftmaxRows(a);
+  ThreadPool::Global().SetNumThreads(1);
+  const Tensor add1 = Add(a, b);
+  const Tensor mul1 = Mul(a, b);
+  const Tensor relu1 = Relu(a);
+  for (int t : kThreadCounts) {
+    ThreadPool::Global().SetNumThreads(t);
+    EXPECT_TRUE(BitEqual(SoftmaxRows(a), softmax_ref)) << t << " threads";
+    EXPECT_TRUE(BitEqual(Add(a, b), add1)) << t << " threads";
+    EXPECT_TRUE(BitEqual(Mul(a, b), mul1)) << t << " threads";
+    EXPECT_TRUE(BitEqual(Relu(a), relu1)) << t << " threads";
+  }
+}
+
+TEST_F(ParallelTest, GraphNormalizationBitExactAcrossThreadCounts) {
+  Rng rng(14);
+  const CsrMatrix adj = RandomSparse(120, 120, 6, rng);
+  ThreadPool::Global().SetNumThreads(1);
+  const CsrMatrix sym1 = SymNormalize(adj);
+  const CsrMatrix row1 = RowNormalize(adj);
+  for (int t : kThreadCounts) {
+    ThreadPool::Global().SetNumThreads(t);
+    const CsrMatrix sym = SymNormalize(adj);
+    const CsrMatrix row = RowNormalize(adj);
+    ASSERT_EQ(sym.Nnz(), sym1.Nnz());
+    ASSERT_EQ(row.Nnz(), row1.Nnz());
+    EXPECT_EQ(std::memcmp(sym.values().data(), sym1.values().data(),
+                          sym.values().size() * sizeof(float)),
+              0);
+    EXPECT_EQ(std::memcmp(row.values().data(), row1.values().data(),
+                          row.values().size() * sizeof(float)),
+              0);
+  }
+}
+
+TEST_F(ParallelTest, RowNormalizeStillDropsZeroSumRows) {
+  // A row whose stored values sum to zero historically has its entries
+  // removed; the structure-preserving fast path must not change that.
+  std::vector<Triplet> t = {{0, 0, 1.0f}, {0, 1, -1.0f}, {1, 0, 2.0f}};
+  const CsrMatrix a = CsrMatrix::FromTriplets(2, 2, std::move(t));
+  const CsrMatrix norm = RowNormalize(a);
+  EXPECT_EQ(norm.RowNnz(0), 0);
+  EXPECT_EQ(norm.RowNnz(1), 1);
+  EXPECT_FLOAT_EQ(norm.At(1, 0), 1.0f);
+}
+
+TEST_F(ParallelTest, ParallelForCoversRangeExactlyOnce) {
+  for (int t : kThreadCounts) {
+    ThreadPool::Global().SetNumThreads(t);
+    for (int64_t n : {0, 1, 7, 1000, 4096}) {
+      std::vector<int> hits(static_cast<size_t>(n), 0);
+      ParallelFor(0, n, /*grain=*/3, [&](int64_t b, int64_t e) {
+        for (int64_t i = b; i < e; ++i) ++hits[static_cast<size_t>(i)];
+      });
+      for (int64_t i = 0; i < n; ++i) {
+        ASSERT_EQ(hits[static_cast<size_t>(i)], 1)
+            << "index " << i << " of " << n << " at " << t << " threads";
+      }
+    }
+  }
+}
+
+TEST_F(ParallelTest, NestedParallelForRunsInline) {
+  ThreadPool::Global().SetNumThreads(4);
+  std::vector<int> hits(64, 0);
+  ParallelFor(0, 8, /*grain=*/1, [&](int64_t b, int64_t e) {
+    for (int64_t i = b; i < e; ++i) {
+      ParallelFor(0, 8, /*grain=*/1, [&](int64_t jb, int64_t je) {
+        for (int64_t j = jb; j < je; ++j) {
+          ++hits[static_cast<size_t>(i * 8 + j)];
+        }
+      });
+    }
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST_F(ParallelTest, SetNumThreadsClampsToOne) {
+  ThreadPool::Global().SetNumThreads(0);
+  EXPECT_EQ(ThreadPool::Global().NumThreads(), 1);
+  ThreadPool::Global().SetNumThreads(-5);
+  EXPECT_EQ(ThreadPool::Global().NumThreads(), 1);
+  ThreadPool::Global().SetNumThreads(3);
+  EXPECT_EQ(ThreadPool::Global().NumThreads(), 3);
+}
+
+TEST_F(ParallelTest, DefaultNumThreadsHonorsEnvVar) {
+  ::setenv("MCOND_NUM_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::DefaultNumThreads(), 3);
+  ::setenv("MCOND_NUM_THREADS", "1", 1);
+  EXPECT_EQ(ThreadPool::DefaultNumThreads(), 1);
+  ::setenv("MCOND_NUM_THREADS", "not-a-number", 1);
+  EXPECT_GE(ThreadPool::DefaultNumThreads(), 1);
+  ::setenv("MCOND_NUM_THREADS", "0", 1);
+  EXPECT_GE(ThreadPool::DefaultNumThreads(), 1);
+  ::unsetenv("MCOND_NUM_THREADS");
+  EXPECT_GE(ThreadPool::DefaultNumThreads(), 1);
+}
+
+TEST_F(ParallelTest, TensorAllocators) {
+  Tensor u = Tensor::Uninitialized(5, 7);
+  EXPECT_EQ(u.rows(), 5);
+  EXPECT_EQ(u.cols(), 7);
+  const Tensor z = Tensor::ZeroedLike(u);
+  EXPECT_EQ(z.rows(), 5);
+  EXPECT_EQ(z.cols(), 7);
+  for (int64_t i = 0; i < z.size(); ++i) EXPECT_EQ(z.data()[i], 0.0f);
+}
+
+TEST_F(ParallelTest, GrainFromCostScalesInversely) {
+  EXPECT_GE(GrainFromCost(1), GrainFromCost(1000));
+  EXPECT_GE(GrainFromCost(1000), 1);
+  EXPECT_EQ(GrainFromCost(int64_t{1} << 16), 1);
+}
+
+}  // namespace
+}  // namespace mcond

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Proves the parallel substrate's determinism contract end to end: runs the
+# kernel smoke workload (bench_kernels --smoke) single-threaded and at a
+# deliberately oversubscribed width, then diffs the per-kernel bit-level
+# checksums. Any float that differs by even one ULP fails the diff.
+#
+# Usage: check_determinism.sh <path-to-bench_kernels> [wide_thread_count]
+# Registered as a ctest (see bench/CMakeLists.txt), so `ctest` runs it on
+# every build — including the single-core CI case, where the wide run still
+# exercises the pool's worker threads via preemption.
+set -euo pipefail
+
+BENCH="${1:?usage: check_determinism.sh <bench_kernels binary> [threads]}"
+WIDE="${2:-8}"
+
+narrow=$(MCOND_NUM_THREADS=1 "$BENCH" --smoke | grep -v '^threads ')
+wide=$(MCOND_NUM_THREADS="$WIDE" "$BENCH" --smoke | grep -v '^threads ')
+
+if [[ "$narrow" != "$wide" ]]; then
+  echo "DETERMINISM FAILURE: kernel checksums differ between 1 and $WIDE threads" >&2
+  diff <(echo "$narrow") <(echo "$wide") >&2 || true
+  exit 1
+fi
+
+echo "OK: kernel checksums identical at 1 and $WIDE threads"
+echo "$narrow"

@@ -15,6 +15,11 @@
 //   --trace_out trace.json    enable tracing, write Chrome trace JSON
 //   --metrics_out metrics.json  write a metrics-registry snapshot
 //
+// Performance flags (docs/performance.md):
+//   --threads N    kernel thread-pool width (default: MCOND_NUM_THREADS,
+//                  else hardware concurrency); results are identical at
+//                  every setting
+//
 // Exit code 0 on success; errors print a Status message to stderr.
 
 #include <cstring>
@@ -25,6 +30,7 @@
 
 #include "condense/artifact_io.h"
 #include "condense/mcond.h"
+#include "core/parallel.h"
 #include "data/datasets.h"
 #include "eval/inference.h"
 #include "nn/trainer.h"
@@ -210,6 +216,20 @@ bool SetupObservability(const Args& args) {
     obs::SetMinLogLevel(level);
   }
   if (!FlagOr(args, "trace_out", "").empty()) obs::EnableTracing(true);
+  const std::string threads_text = FlagOr(args, "threads", "");
+  if (!threads_text.empty()) {
+    int threads = 0;
+    try {
+      threads = std::stoi(threads_text);
+    } catch (...) {
+    }
+    if (threads < 1) {
+      std::cerr << "bad --threads '" << threads_text
+                << "' (want a positive integer)\n";
+      return false;
+    }
+    ThreadPool::Global().SetNumThreads(threads);
+  }
   return true;
 }
 
@@ -241,7 +261,7 @@ int Run(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: mcond_cli <datasets|condense|inspect|serve> "
                  "[--log_level L] [--trace_out F] [--metrics_out F] "
-                 "[flags]\n";
+                 "[--threads N] [flags]\n";
     return 1;
   }
   const std::string cmd = argv[1];
