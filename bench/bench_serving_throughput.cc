@@ -1,0 +1,279 @@
+// Serving-throughput benchmark for the persistent ServingSession (the
+// perf-opt tentpole, docs/performance.md "Serving"): streams the test split
+// through both serving paths and reports requests/sec plus latency
+// quantiles.
+//
+//   per_request: every batch recomposes the deployment from scratch
+//       (aM conversion, block composition, full renormalization, full
+//       feature restack) — the ComposeDeployment / ServeImpl path.
+//   session:     one ServingSession built up front; every batch patches
+//       only the rows its links change. Logits are bit-identical to
+//       per_request by construction.
+//
+// Quantiles come from the observability histograms: the session path
+// records mcond.serve.session_total_us itself; the per-request loop records
+// an equivalent bench-local histogram. p50/p99 are bucketed approximations
+// (obs::HistogramApproxQuantile), good to a factor of 2 — enough to rank
+// the two paths, not to quote absolute tails.
+//
+// Modes:
+//   (default)  human-readable summary on pubmed-sim.
+//   --json     BENCH_kernels.json-style JSON on stdout (BENCH_serving.json
+//              is a committed snapshot of this).
+//   --smoke    tiny-sim, one pass, prints bit-level logit checksums for
+//              both paths and both batch modes. tools/check_determinism.sh
+//              diffs this output between thread widths AND asserts the
+//              per_request/session checksum pairs match within a run.
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/parallel.h"
+#include "core/tensor_ops.h"
+#include "coreset/coreset.h"
+#include "data/datasets.h"
+#include "eval/batching.h"
+#include "eval/inference.h"
+#include "nn/sgc.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/serving_session.h"
+
+namespace mcond {
+namespace {
+
+/// Bit-exact FNV-1a fold over a tensor; any single-bit change anywhere in
+/// the stream changes the digest (same scheme as bench_kernels --smoke).
+uint64_t BitChecksumFold(uint64_t h, const Tensor& t) {
+  const float* p = t.data();
+  for (int64_t i = 0; i < t.size(); ++i) {
+    uint32_t bits;
+    std::memcpy(&bits, &p[i], sizeof(bits));
+    h = (h ^ bits) * 1099511628211ull;
+  }
+  return h;
+}
+constexpr uint64_t kFnvSeed = 1469598103934665603ull;
+
+struct PathStats {
+  double requests_per_sec = 0.0;
+  uint64_t p50_us = 0;
+  uint64_t p99_us = 0;
+  int64_t requests = 0;
+  uint64_t checksum = kFnvSeed;
+};
+
+/// One streaming pass per `passes` over `batches`, per-request path:
+/// the full recompose pipeline every batch.
+PathStats RunPerRequest(GnnModel& model, const Graph& base,
+                        const CondensedGraph* condensed,
+                        const std::vector<HeldOutBatch>& batches,
+                        bool graph_batch, int64_t passes, Rng& rng) {
+  obs::Histogram& hist = obs::GetHistogram("mcond.serve.bench_per_request_us");
+  PathStats stats;
+  double total_seconds = 0.0;
+  for (int64_t pass = 0; pass < passes; ++pass) {
+    for (const HeldOutBatch& batch : batches) {
+      obs::TraceSpan span("bench.per_request", /*always_time=*/true);
+      Deployment dep = condensed != nullptr
+                           ? ComposeDeployment(*condensed, batch, graph_batch)
+                           : ComposeDeployment(base, batch, graph_batch);
+      const Tensor logits = model.Predict(dep.operators, dep.features, rng);
+      const Tensor batch_logits =
+          SliceRows(logits, dep.num_base, dep.num_base + dep.batch_size);
+      const double seconds = span.ElapsedSeconds();
+      hist.Record(span.ElapsedMicros());
+      total_seconds += seconds;
+      ++stats.requests;
+      stats.checksum = BitChecksumFold(stats.checksum, batch_logits);
+    }
+  }
+  stats.requests_per_sec =
+      total_seconds > 0.0 ? stats.requests / total_seconds : 0.0;
+  stats.p50_us = obs::HistogramApproxQuantile(hist, 0.5);
+  stats.p99_us = obs::HistogramApproxQuantile(hist, 0.99);
+  return stats;
+}
+
+/// Same stream through one persistent session. The session records its own
+/// mcond.serve.session_total_us samples; we time the calls for the
+/// requests/sec figure so both paths are measured identically.
+PathStats RunSession(GnnModel& model, const Graph& base,
+                     const CondensedGraph* condensed,
+                     const std::vector<HeldOutBatch>& batches,
+                     bool graph_batch, int64_t passes, Rng& rng) {
+  PathStats stats;
+  double total_seconds = 0.0;
+  ServingSession session = condensed != nullptr
+                               ? ServingSession(*condensed, model)
+                               : ServingSession(base, model);
+  for (int64_t pass = 0; pass < passes; ++pass) {
+    for (const HeldOutBatch& batch : batches) {
+      obs::TraceSpan span("bench.session", /*always_time=*/true);
+      const Tensor& logits = session.Serve(batch, graph_batch, rng);
+      total_seconds += span.ElapsedSeconds();
+      ++stats.requests;
+      stats.checksum = BitChecksumFold(stats.checksum, logits);
+    }
+  }
+  stats.requests_per_sec =
+      total_seconds > 0.0 ? stats.requests / total_seconds : 0.0;
+  const obs::Histogram& hist =
+      obs::GetHistogram("mcond.serve.session_total_us");
+  stats.p50_us = obs::HistogramApproxQuantile(hist, 0.5);
+  stats.p99_us = obs::HistogramApproxQuantile(hist, 0.99);
+  return stats;
+}
+
+struct Workload {
+  InductiveDataset data;
+  CondensedGraph condensed;
+  std::unique_ptr<GnnModel> model;
+  std::vector<HeldOutBatch> batches;
+};
+
+/// Deterministic workload: SBM dataset, a random-coreset reduction (cheap
+/// to build; serving cost depends on artifact shape, not on how it was
+/// condensed), and a deterministically initialized untrained SGC (forward
+/// cost and bit patterns don't care about training).
+Workload MakeWorkload(const std::string& dataset, int64_t batch_size) {
+  Workload w;
+  w.data = MakeDatasetByName(dataset, 17);
+  const Graph& train = w.data.train_graph;
+  Rng rng(18);
+  const int64_t n_select =
+      std::max<int64_t>(2 * train.num_classes(), train.NumNodes() / 20);
+  const std::vector<int64_t> selected = SelectCoreset(
+      CoresetMethod::kRandom, train, train.features(), n_select, rng);
+  w.condensed = BuildCoresetGraph(train, selected);
+  GnnConfig gc;
+  w.model = std::make_unique<Sgc>(train.FeatureDim(), train.num_classes(),
+                                  gc, rng);
+  w.batches = SplitIntoBatches(w.data.test, batch_size);
+  return w;
+}
+
+int RunSmoke() {
+  std::printf("threads %d\n", ThreadPool::Global().NumThreads());
+  Workload w = MakeWorkload("tiny-sim", 8);
+  for (const bool graph_batch : {true, false}) {
+    const char* tag = graph_batch ? "graph" : "node";
+    // Fresh Rngs per path: SGC's Predict is deterministic, but identical
+    // streams keep the comparison honest if a stochastic arch lands here.
+    Rng rng_a(7), rng_b(7), rng_c(7), rng_d(7);
+    const PathStats pr = RunPerRequest(*w.model, w.data.train_graph,
+                                       &w.condensed, w.batches, graph_batch,
+                                       /*passes=*/1, rng_a);
+    const PathStats se = RunSession(*w.model, w.data.train_graph,
+                                    &w.condensed, w.batches, graph_batch,
+                                    /*passes=*/1, rng_b);
+    std::printf("logits_per_request_%s %016" PRIx64 "\n", tag, pr.checksum);
+    std::printf("logits_session_%s %016" PRIx64 "\n", tag, se.checksum);
+    // Original-graph sessions share the same patching machinery but skip
+    // the aM conversion; checksum them too so the determinism gate covers
+    // both constructors.
+    const PathStats pro = RunPerRequest(*w.model, w.data.train_graph,
+                                        /*condensed=*/nullptr, w.batches,
+                                        graph_batch, /*passes=*/1, rng_c);
+    const PathStats seo = RunSession(*w.model, w.data.train_graph,
+                                     /*condensed=*/nullptr, w.batches,
+                                     graph_batch, /*passes=*/1, rng_d);
+    std::printf("logits_per_request_orig_%s %016" PRIx64 "\n", tag,
+                pro.checksum);
+    std::printf("logits_session_orig_%s %016" PRIx64 "\n", tag, seo.checksum);
+  }
+  return 0;
+}
+
+struct Row {
+  std::string name;
+  PathStats stats;
+};
+
+int RunBench(bool json) {
+  const std::string dataset = "pubmed-sim";
+  const int64_t batch_size = 32;
+  const int64_t passes = 8;
+  Workload w = MakeWorkload(dataset, batch_size);
+  std::vector<Row> rows;
+  Rng rng(7);
+  rows.push_back({"condensed/per_request",
+                  RunPerRequest(*w.model, w.data.train_graph, &w.condensed,
+                                w.batches, /*graph_batch=*/true, passes,
+                                rng)});
+  rows.push_back({"condensed/session",
+                  RunSession(*w.model, w.data.train_graph, &w.condensed,
+                             w.batches, /*graph_batch=*/true, passes, rng)});
+  rows.push_back({"original/per_request",
+                  RunPerRequest(*w.model, w.data.train_graph,
+                                /*condensed=*/nullptr, w.batches,
+                                /*graph_batch=*/true, passes, rng)});
+  rows.push_back({"original/session",
+                  RunSession(*w.model, w.data.train_graph,
+                             /*condensed=*/nullptr, w.batches,
+                             /*graph_batch=*/true, passes, rng)});
+
+  if (json) {
+    std::printf("{\n");
+    std::printf(
+        "  \"note\": \"Serving-throughput baseline: %s, batch_size %lld, "
+        "%lld stream passes, graph-batch mode. Session and per-request "
+        "logits are bit-identical (ctest check_determinism); p50/p99 are "
+        "pow2-bucket approximations from the obs histograms. context "
+        "records the capture machine's CPU count — on a 1-CPU container "
+        "the session/per_request ratio understates the multi-core gap; "
+        "rerun bench_serving_throughput --json there and replace this "
+        "file.\",\n",
+        dataset.c_str(), static_cast<long long>(batch_size),
+        static_cast<long long>(passes));
+    std::printf("  \"context\": {\"num_cpus\": %d, \"threads\": %d},\n",
+                ThreadPool::DefaultNumThreads(),
+                ThreadPool::Global().NumThreads());
+    std::printf("  \"benchmarks\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const Row& r = rows[i];
+      std::printf("    {\"name\": \"%s\", \"requests\": %lld, "
+                  "\"requests_per_sec\": %.2f, \"p50_us\": %llu, "
+                  "\"p99_us\": %llu}%s\n",
+                  r.name.c_str(), static_cast<long long>(r.stats.requests),
+                  r.stats.requests_per_sec,
+                  static_cast<unsigned long long>(r.stats.p50_us),
+                  static_cast<unsigned long long>(r.stats.p99_us),
+                  i + 1 < rows.size() ? "," : "");
+    }
+    std::printf("  ]\n}\n");
+  } else {
+    std::printf("serving throughput on %s (batch %lld, %lld passes, "
+                "%d threads)\n",
+                dataset.c_str(), static_cast<long long>(batch_size),
+                static_cast<long long>(passes),
+                ThreadPool::Global().NumThreads());
+    for (const Row& r : rows) {
+      std::printf("  %-24s %9.2f req/s   p50 %6llu us   p99 %6llu us\n",
+                  r.name.c_str(), r.stats.requests_per_sec,
+                  static_cast<unsigned long long>(r.stats.p50_us),
+                  static_cast<unsigned long long>(r.stats.p99_us));
+    }
+    const double cond_speedup =
+        rows[1].stats.requests_per_sec / rows[0].stats.requests_per_sec;
+    const double orig_speedup =
+        rows[3].stats.requests_per_sec / rows[2].stats.requests_per_sec;
+    std::printf("  session speedup: condensed %.2fx, original %.2fx\n",
+                cond_speedup, orig_speedup);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace mcond
+
+int main(int argc, char** argv) {
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return mcond::RunSmoke();
+    if (std::strcmp(argv[i], "--json") == 0) json = true;
+  }
+  return mcond::RunBench(json);
+}

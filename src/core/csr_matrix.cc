@@ -62,6 +62,59 @@ CsrMatrix CsrMatrix::FromTriplets(int64_t rows, int64_t cols,
   return m;
 }
 
+CsrMatrix CsrMatrix::FromParts(int64_t rows, int64_t cols,
+                               std::vector<int64_t> row_ptr,
+                               std::vector<int32_t> col_idx,
+                               std::vector<float> values, bool validate) {
+  if (validate) {
+    MCOND_CHECK_GE(rows, 0);
+    MCOND_CHECK_GE(cols, 0);
+    MCOND_CHECK_EQ(static_cast<int64_t>(row_ptr.size()), rows + 1)
+        << "row_ptr must have rows+1 entries";
+    MCOND_CHECK_EQ(row_ptr[0], 0);
+    MCOND_CHECK_EQ(row_ptr[static_cast<size_t>(rows)],
+                   static_cast<int64_t>(col_idx.size()));
+    MCOND_CHECK_EQ(col_idx.size(), values.size());
+    for (int64_t r = 0; r < rows; ++r) {
+      const int64_t begin = row_ptr[static_cast<size_t>(r)];
+      const int64_t end = row_ptr[static_cast<size_t>(r) + 1];
+      MCOND_CHECK_LE(begin, end) << "row_ptr must be non-decreasing at " << r;
+      for (int64_t k = begin; k < end; ++k) {
+        const int32_t c = col_idx[static_cast<size_t>(k)];
+        MCOND_CHECK(c >= 0 && c < cols)
+            << "column " << c << " out of range in row " << r;
+        MCOND_CHECK(k == begin || col_idx[static_cast<size_t>(k) - 1] < c)
+            << "columns must be strictly ascending in row " << r;
+      }
+    }
+  }
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_ = std::move(row_ptr);
+  m.col_idx_ = std::move(col_idx);
+  m.values_ = std::move(values);
+  return m;
+}
+
+void CsrMatrix::TakeParts(std::vector<int64_t>* row_ptr,
+                          std::vector<int32_t>* col_idx,
+                          std::vector<float>* values) {
+  *row_ptr = std::move(row_ptr_);
+  *col_idx = std::move(col_idx_);
+  *values = std::move(values_);
+  // Deliberately moved-from (row_ptr_ empty rather than {0}): the matrix is
+  // only valid for assignment or destruction, exactly like the source of a
+  // move. Re-seeding row_ptr_ would heap-allocate, defeating the
+  // zero-allocation serving loop this API exists for.
+  rows_ = 0;
+  cols_ = 0;
+  row_ptr_.clear();
+  col_idx_.clear();
+  values_.clear();
+  tview_.reset();
+}
+
 CsrMatrix CsrMatrix::Identity(int64_t n) {
   std::vector<Triplet> t;
   t.reserve(static_cast<size_t>(n));

@@ -58,6 +58,26 @@ class CsrMatrix {
   static CsrMatrix FromTriplets(int64_t rows, int64_t cols,
                                 std::vector<Triplet> triplets);
 
+  /// Adopts already-assembled CSR arrays without any sort or merge. The
+  /// arrays must satisfy the class invariants (row_ptr non-decreasing with
+  /// rows+1 entries, columns strictly ascending within each row); with
+  /// `validate` they are checked in O(nnz), hot paths that construct the
+  /// arrays canonically (the serving session) pass false. Together with
+  /// TakeParts this lets a caller recycle the same buffers across
+  /// rebuilds without reallocating.
+  static CsrMatrix FromParts(int64_t rows, int64_t cols,
+                             std::vector<int64_t> row_ptr,
+                             std::vector<int32_t> col_idx,
+                             std::vector<float> values, bool validate = true);
+
+  /// Moves the CSR arrays out into the given vectors (reusing their
+  /// capacity) and leaves this matrix in the moved-from state (0×0 with an
+  /// EMPTY row_ptr — valid only for assignment or destruction, like any
+  /// moved-from object). The inverse of FromParts, used to reclaim buffers
+  /// for in-place rebuilding without touching the heap.
+  void TakeParts(std::vector<int64_t>* row_ptr, std::vector<int32_t>* col_idx,
+                 std::vector<float>* values);
+
   /// n×n identity.
   static CsrMatrix Identity(int64_t n);
 

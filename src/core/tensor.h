@@ -13,10 +13,23 @@ namespace mcond {
 
 namespace internal {
 
+/// Allocation entry points for all Tensor storage (see tensor_arena.h).
+/// When the calling thread has an active TensorArena, TensorAlloc bumps the
+/// arena instead of touching the heap and TensorFree is a no-op for
+/// arena-owned blocks; otherwise they are operator new/delete. Every call
+/// that actually reaches the heap (including arena page growth) increments
+/// the process-wide counter behind TensorHeapAllocCount(), which is how
+/// tests assert the serving path's zero-allocation steady state.
+void* TensorAlloc(size_t bytes);
+void TensorFree(void* p) noexcept;
+int64_t TensorHeapAllocCount();
+
 /// std::allocator that default-initializes on valueless construct, so
 /// vector::resize leaves float storage uninitialized instead of writing
 /// zeros. Kernels use this (via Tensor::Uninitialized) for write-only
-/// outputs, avoiding the alloc-zero-then-overwrite double pass.
+/// outputs, avoiding the alloc-zero-then-overwrite double pass. Storage is
+/// obtained through TensorAlloc/TensorFree so a thread-local TensorArena
+/// can serve it without heap traffic.
 template <typename T>
 struct DefaultInitAllocator : std::allocator<T> {
   template <typename U>
@@ -26,6 +39,11 @@ struct DefaultInitAllocator : std::allocator<T> {
   DefaultInitAllocator() = default;
   template <typename U>
   DefaultInitAllocator(const DefaultInitAllocator<U>&) {}  // NOLINT
+
+  T* allocate(size_t n) {
+    return static_cast<T*>(TensorAlloc(n * sizeof(T)));
+  }
+  void deallocate(T* p, size_t) noexcept { TensorFree(p); }
 
   template <typename U, typename... Args>
   void construct(U* p, Args&&... args) {

@@ -468,9 +468,25 @@ Tensor ConcatRows(const Tensor& top, const Tensor& bottom) {
   }
   MCOND_CHECK_EQ(top.cols(), bottom.cols()) << "ConcatRows width mismatch";
   Tensor out = Tensor::Uninitialized(top.rows() + bottom.rows(), top.cols());
-  std::copy(top.data(), top.data() + top.size(), out.data());
-  std::copy(bottom.data(), bottom.data() + bottom.size(),
-            out.data() + top.size());
+  // Parallel pure copies into disjoint destination rows: bit-identical at
+  // any width. On serving-sized bases the stack is bandwidth-bound and the
+  // serial copy dominated compose time.
+  const int64_t grain = GrainFromCost(top.cols() + 1);
+  ParallelFor(
+      0, top.rows(), grain,
+      [&](int64_t r0, int64_t r1) {
+        std::copy(top.RowData(r0), top.RowData(r0) + (r1 - r0) * top.cols(),
+                  out.RowData(r0));
+      },
+      "core.concat_rows");
+  ParallelFor(
+      0, bottom.rows(), grain,
+      [&](int64_t r0, int64_t r1) {
+        std::copy(bottom.RowData(r0),
+                  bottom.RowData(r0) + (r1 - r0) * bottom.cols(),
+                  out.RowData(top.rows() + r0));
+      },
+      "core.concat_rows");
   return out;
 }
 

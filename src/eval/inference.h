@@ -50,6 +50,15 @@ struct Deployment {
   int64_t batch_size = 0;
 };
 
+/// Selects the serving implementation.
+///  - kPerRequest: the historical path — every call recomposes the block
+///    adjacency, renormalizes all rows, and restacks all features.
+///  - kSession: routes through a persistent serve::ServingSession (built
+///    once per call here, reused across the timed repeats), which caches
+///    the static base-block work and patches only what the batch changes.
+///    Results are bit-identical to kPerRequest.
+enum class ServeMode { kPerRequest, kSession };
+
 /// Composes the original-graph deployment of Eq. (3).
 Deployment ComposeDeployment(const Graph& base, const HeldOutBatch& batch,
                              bool graph_batch);
@@ -59,11 +68,20 @@ Deployment ComposeDeployment(const Graph& base, const HeldOutBatch& batch,
 Deployment ComposeDeployment(const CondensedGraph& condensed,
                              const HeldOutBatch& batch, bool graph_batch);
 
+/// Same, for callers that already ran the aM conversion (e.g. after
+/// ServeOnCondensed, whose result was produced from exactly this product) —
+/// avoids recomputing the SpGEMM. `converted_links` must equal
+/// CsrMatrix::Multiply(batch.links, condensed.mapping).
+Deployment ComposeDeployment(const CondensedGraph& condensed,
+                             const CsrMatrix& converted_links,
+                             const HeldOutBatch& batch, bool graph_batch);
+
 /// Serves `batch` by attaching it to the original graph (Eq. 3) — the
 /// "Whole"/·→O path.
 InferenceResult ServeOnOriginal(GnnModel& model, const Graph& original,
                                 const HeldOutBatch& batch, bool graph_batch,
-                                Rng& rng, int64_t repeats = 3);
+                                Rng& rng, int64_t repeats = 3,
+                                ServeMode mode = ServeMode::kPerRequest);
 
 /// Serves `batch` by converting its links through the mapping and attaching
 /// it to the condensed graph (Eq. 11) — the ·→S path. The condensed
@@ -71,7 +89,8 @@ InferenceResult ServeOnOriginal(GnnModel& model, const Graph& original,
 InferenceResult ServeOnCondensed(GnnModel& model,
                                  const CondensedGraph& condensed,
                                  const HeldOutBatch& batch, bool graph_batch,
-                                 Rng& rng, int64_t repeats = 3);
+                                 Rng& rng, int64_t repeats = 3,
+                                 ServeMode mode = ServeMode::kPerRequest);
 
 }  // namespace mcond
 

@@ -1,10 +1,23 @@
 #include "graph/compose.h"
 
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "core/parallel.h"
 #include "core/tensor_ops.h"
 #include "obs/trace.h"
 
 namespace mcond {
 
+// Direct CSR assembly: the block structure is already canonically ordered
+// (per base row: base columns < N, then transpose columns N+i with i
+// ascending; per batch row: links columns < N, then inter columns + N), and
+// no coordinate can appear in two blocks, so the triplet sort-and-merge the
+// old implementation paid is pure overhead. Row copies are parallel; only
+// the O(nnz(links)) transpose scatter stays serial (its iteration order is
+// what makes the appended columns ascend). Output is bit-identical to the
+// FromTriplets path.
 CsrMatrix ComposeBlockAdjacency(const CsrMatrix& base, const CsrMatrix& links,
                                 const CsrMatrix& inter) {
   MCOND_TRACE_SPAN("graph.compose_block_adjacency");
@@ -14,37 +27,93 @@ CsrMatrix ComposeBlockAdjacency(const CsrMatrix& base, const CsrMatrix& links,
   MCOND_CHECK_EQ(inter.cols(), links.rows());
   const int64_t big_n = base.rows();
   const int64_t small_n = links.rows();
-  std::vector<Triplet> t;
-  t.reserve(static_cast<size_t>(base.Nnz() + 2 * links.Nnz() + inter.Nnz()));
-  // Top-left: base.
+  const int64_t total = big_n + small_n;
+  MCOND_CHECK_LE(total, std::numeric_limits<int32_t>::max());
+
+  // Per-base-row count of transpose entries (links column histogram).
+  std::vector<int64_t> extra(static_cast<size_t>(big_n), 0);
+  for (const int32_t c : links.col_idx()) ++extra[static_cast<size_t>(c)];
+
+  std::vector<int64_t> row_ptr(static_cast<size_t>(total) + 1);
+  row_ptr[0] = 0;
   for (int64_t r = 0; r < big_n; ++r) {
-    for (int64_t k = base.row_ptr()[static_cast<size_t>(r)];
-         k < base.row_ptr()[static_cast<size_t>(r) + 1]; ++k) {
-      t.push_back({r, base.col_idx()[static_cast<size_t>(k)],
-                   base.values()[static_cast<size_t>(k)]});
-    }
+    row_ptr[static_cast<size_t>(r) + 1] = row_ptr[static_cast<size_t>(r)] +
+                                          base.RowNnz(r) +
+                                          extra[static_cast<size_t>(r)];
   }
-  // Bottom-left (links) and its transpose in the top-right.
+  for (int64_t i = 0; i < small_n; ++i) {
+    row_ptr[static_cast<size_t>(big_n + i) + 1] =
+        row_ptr[static_cast<size_t>(big_n + i)] + links.RowNnz(i) +
+        inter.RowNnz(i);
+  }
+  const int64_t nnz = row_ptr[static_cast<size_t>(total)];
+  std::vector<int32_t> col_idx(static_cast<size_t>(nnz));
+  std::vector<float> values(static_cast<size_t>(nnz));
+
+  // Top-left block: parallel row copies; cursor marks where the transpose
+  // entries will be appended.
+  std::vector<int64_t>& cursor = extra;  // reuse: overwritten per row below
+  const int64_t grain =
+      GrainFromCost(2 * (base.Nnz() / std::max<int64_t>(big_n, 1) + 1));
+  ParallelFor(
+      0, big_n, grain,
+      [&](int64_t r0, int64_t r1) {
+        for (int64_t r = r0; r < r1; ++r) {
+          const int64_t src = base.row_ptr()[static_cast<size_t>(r)];
+          const int64_t nb = base.RowNnz(r);
+          const int64_t dst = row_ptr[static_cast<size_t>(r)];
+          std::memcpy(col_idx.data() + dst, base.col_idx().data() + src,
+                      static_cast<size_t>(nb) * sizeof(int32_t));
+          std::memcpy(values.data() + dst, base.values().data() + src,
+                      static_cast<size_t>(nb) * sizeof(float));
+          cursor[static_cast<size_t>(r)] = dst + nb;
+        }
+      },
+      "graph.compose_base_rows");
+
+  // Top-right block (linksᵀ): serial scatter in ascending links-row order,
+  // so appended columns big_n + r ascend within each base row.
   for (int64_t r = 0; r < small_n; ++r) {
     for (int64_t k = links.row_ptr()[static_cast<size_t>(r)];
          k < links.row_ptr()[static_cast<size_t>(r) + 1]; ++k) {
-      const int64_t c = links.col_idx()[static_cast<size_t>(k)];
-      const float v = links.values()[static_cast<size_t>(k)];
-      t.push_back({big_n + r, c, v});
-      t.push_back({c, big_n + r, v});
+      const int32_t c = links.col_idx()[static_cast<size_t>(k)];
+      const int64_t pos = cursor[static_cast<size_t>(c)]++;
+      col_idx[static_cast<size_t>(pos)] = static_cast<int32_t>(big_n + r);
+      values[static_cast<size_t>(pos)] = links.values()[static_cast<size_t>(k)];
     }
   }
-  // Bottom-right: inter-node edges of the batch.
-  for (int64_t r = 0; r < small_n; ++r) {
-    for (int64_t k = inter.row_ptr()[static_cast<size_t>(r)];
-         k < inter.row_ptr()[static_cast<size_t>(r) + 1]; ++k) {
-      t.push_back({big_n + r,
-                   big_n + inter.col_idx()[static_cast<size_t>(k)],
-                   inter.values()[static_cast<size_t>(k)]});
-    }
-  }
-  return CsrMatrix::FromTriplets(big_n + small_n, big_n + small_n,
-                                 std::move(t));
+
+  // Bottom blocks: links row then inter row (columns offset by big_n).
+  ParallelFor(
+      0, small_n,
+      GrainFromCost(2 * ((links.Nnz() + inter.Nnz()) /
+                             std::max<int64_t>(small_n, 1) +
+                         1)),
+      [&](int64_t i0, int64_t i1) {
+        for (int64_t i = i0; i < i1; ++i) {
+          int64_t dst = row_ptr[static_cast<size_t>(big_n + i)];
+          const int64_t lsrc = links.row_ptr()[static_cast<size_t>(i)];
+          const int64_t ln = links.RowNnz(i);
+          std::memcpy(col_idx.data() + dst, links.col_idx().data() + lsrc,
+                      static_cast<size_t>(ln) * sizeof(int32_t));
+          std::memcpy(values.data() + dst, links.values().data() + lsrc,
+                      static_cast<size_t>(ln) * sizeof(float));
+          dst += ln;
+          for (int64_t k = inter.row_ptr()[static_cast<size_t>(i)];
+               k < inter.row_ptr()[static_cast<size_t>(i) + 1]; ++k) {
+            col_idx[static_cast<size_t>(dst)] = static_cast<int32_t>(
+                big_n + inter.col_idx()[static_cast<size_t>(k)]);
+            values[static_cast<size_t>(dst)] =
+                inter.values()[static_cast<size_t>(k)];
+            ++dst;
+          }
+        }
+      },
+      "graph.compose_batch_rows");
+
+  return CsrMatrix::FromParts(total, total, std::move(row_ptr),
+                              std::move(col_idx), std::move(values),
+                              /*validate=*/false);
 }
 
 Tensor ComposeFeatures(const Tensor& base_features,

@@ -69,6 +69,26 @@ uint64_t Histogram::Min() const {
   return m == ~uint64_t{0} ? 0 : m;
 }
 
+uint64_t HistogramApproxQuantile(const Histogram& h, double q) {
+  const int64_t count = h.Count();
+  if (count <= 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  int64_t target = static_cast<int64_t>(q * static_cast<double>(count));
+  if (static_cast<double>(target) < q * static_cast<double>(count)) ++target;
+  if (target < 1) target = 1;
+  int64_t seen = 0;
+  uint64_t bound = h.Max();
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    seen += h.BucketCount(i);
+    if (seen >= target) {
+      bound = Histogram::BucketUpperBound(i);
+      break;
+    }
+  }
+  return std::min(std::max(bound, h.Min()), h.Max());
+}
+
 void Series::Append(double v) {
   std::lock_guard<std::mutex> lock(mu_);
   ++total_;

@@ -128,6 +128,14 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Series>> series_;
 };
 
+/// Approximate quantile (q in [0, 1], clamped) from a histogram's pow-2
+/// buckets: the exclusive upper bound of the bucket holding the ⌈q·count⌉-th
+/// smallest sample, clamped into [Min(), Max()] so exact-percentile
+/// consumers (p50/p99 in benchmark reports) never see a value outside the
+/// observed range. 0 for an empty histogram. Resolution is the bucket
+/// width, i.e. a factor of 2.
+uint64_t HistogramApproxQuantile(const Histogram& h, double q);
+
 /// Conveniences over MetricsRegistry::Global().
 Counter& GetCounter(const std::string& name);
 Gauge& GetGauge(const std::string& name);

@@ -292,6 +292,28 @@ TEST(HistogramTest, RecordUpdatesCountSumMinMax) {
   EXPECT_EQ(h.BucketCount(0), 1);  // The sample `1`.
 }
 
+TEST(HistogramTest, ApproxQuantileTracksBuckets) {
+  obs::Histogram empty;
+  EXPECT_EQ(obs::HistogramApproxQuantile(empty, 0.5), 0u);
+
+  obs::Histogram h;
+  // 90 fast samples around 10us, 10 slow ones around 1000us.
+  for (int i = 0; i < 90; ++i) h.Record(10);
+  for (int i = 0; i < 10; ++i) h.Record(1000);
+  // p50 lands in the [8,16) bucket; the approximation reports its upper
+  // bound.
+  EXPECT_EQ(obs::HistogramApproxQuantile(h, 0.5), 16u);
+  // p99 lands in the slow bucket but is clamped to the observed max.
+  EXPECT_EQ(obs::HistogramApproxQuantile(h, 0.99), 1000u);
+  // Quantiles below the first occupied bucket report that bucket's upper
+  // bound too (never less than a real sample's bucket).
+  EXPECT_EQ(obs::HistogramApproxQuantile(h, 0.0), 16u);
+
+  obs::Histogram one;
+  one.Record(7);
+  EXPECT_EQ(obs::HistogramApproxQuantile(one, 0.5), 7u);
+}
+
 TEST(MetricsTest, CounterIsAtomicUnderContention) {
   obs::Counter counter;
   constexpr int kThreads = 8;

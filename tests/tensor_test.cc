@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/tensor_arena.h"
+
 namespace mcond {
 namespace {
 
@@ -112,6 +114,77 @@ TEST(TensorTest, CopyIsDeep) {
   Tensor b = a;
   b.At(0, 0) = 9.0f;
   EXPECT_EQ(a.At(0, 0), 1.0f);
+}
+
+// ---------------------------------------------------------------------------
+// TensorArena: the allocation substrate behind the serving session's
+// zero-heap-allocation steady state (docs/performance.md "Serving").
+
+TEST(TensorArenaTest, HeapAllocationsCountedOutsideArena) {
+  const int64_t before = internal::TensorHeapAllocCount();
+  Tensor t(16, 16);
+  EXPECT_GT(internal::TensorHeapAllocCount(), before);
+}
+
+TEST(TensorArenaTest, ArenaTensorsDoNotTouchHeapAfterWarmup) {
+  internal::TensorArena arena;
+  {
+    // Warm-up pass: pages get created (heap allocations are expected).
+    internal::ScopedTensorArena scoped(&arena);
+    Tensor a(32, 32);
+    Tensor b(8, 64);
+  }
+  arena.Reset();
+  const int64_t pages = arena.pages_allocated();
+  const int64_t warm = internal::TensorHeapAllocCount();
+  for (int round = 0; round < 3; ++round) {
+    {
+      internal::ScopedTensorArena scoped(&arena);
+      Tensor a(32, 32);
+      Tensor b(8, 64);
+      a.At(1, 1) = 3.0f;
+      EXPECT_EQ(a.At(1, 1), 3.0f);
+      EXPECT_EQ(b.At(7, 63), 0.0f);  // Arena tensors are still zero-filled.
+    }
+    arena.Reset();
+  }
+  EXPECT_EQ(internal::TensorHeapAllocCount(), warm)
+      << "repeating an identical allocation profile must reuse pages";
+  EXPECT_EQ(arena.pages_allocated(), pages);
+  EXPECT_GT(arena.bytes_reserved(), 0u);
+}
+
+TEST(TensorArenaTest, ScopeInstallsAndRestores) {
+  EXPECT_EQ(internal::CurrentTensorArena(), nullptr);
+  internal::TensorArena arena;
+  {
+    internal::ScopedTensorArena scoped(&arena);
+    EXPECT_EQ(internal::CurrentTensorArena(), &arena);
+    {
+      internal::ScopedTensorArena inner(nullptr);  // Opt out temporarily.
+      EXPECT_EQ(internal::CurrentTensorArena(), nullptr);
+    }
+    EXPECT_EQ(internal::CurrentTensorArena(), &arena);
+  }
+  EXPECT_EQ(internal::CurrentTensorArena(), nullptr);
+}
+
+TEST(TensorArenaTest, HeapTensorsSurviveAcrossArenaScopes) {
+  // Mixing heap and arena tensors must route each deallocation correctly
+  // (the ownership header), and heap tensors stay valid after Reset.
+  internal::TensorArena arena;  // Outlives every tensor it backs.
+  Tensor keep = Tensor::Ones(4, 4);
+  {
+    internal::ScopedTensorArena scoped(&arena);
+    Tensor tmp(64, 64);
+    keep = Tensor::Ones(6, 6);  // Arena-allocated...
+    Tensor copy_out = keep;
+  }
+  // ...so copy it to the heap before Reset invalidates arena memory. (The
+  // serving session does exactly this with its output logits.)
+  Tensor persistent = keep;  // Still inside arena pages: copy while valid.
+  arena.Reset();
+  EXPECT_EQ(persistent.At(5, 5), 1.0f);
 }
 
 }  // namespace

@@ -4,14 +4,22 @@
 # deliberately oversubscribed width, then diffs the per-kernel bit-level
 # checksums. Any float that differs by even one ULP fails the diff.
 #
+# When given a bench_serving_throughput binary it additionally proves the
+# serving contracts: its --smoke checksums must match between the two
+# widths, AND within each run every logits_session* digest must equal its
+# logits_per_request* counterpart — the session path is bit-identical to
+# the per-request path, not just self-consistent (docs/performance.md).
+#
 # Usage: check_determinism.sh <path-to-bench_kernels> [wide_thread_count]
+#                             [path-to-bench_serving_throughput]
 # Registered as a ctest (see bench/CMakeLists.txt), so `ctest` runs it on
 # every build — including the single-core CI case, where the wide run still
 # exercises the pool's worker threads via preemption.
 set -euo pipefail
 
-BENCH="${1:?usage: check_determinism.sh <bench_kernels binary> [threads]}"
+BENCH="${1:?usage: check_determinism.sh <bench_kernels binary> [threads] [bench_serving_throughput binary]}"
 WIDE="${2:-8}"
+SERVING="${3:-}"
 
 narrow=$(MCOND_NUM_THREADS=1 "$BENCH" --smoke | grep -v '^threads ')
 wide=$(MCOND_NUM_THREADS="$WIDE" "$BENCH" --smoke | grep -v '^threads ')
@@ -24,3 +32,38 @@ fi
 
 echo "OK: kernel checksums identical at 1 and $WIDE threads"
 echo "$narrow"
+
+if [[ -n "$SERVING" ]]; then
+  s_narrow=$(MCOND_NUM_THREADS=1 "$SERVING" --smoke | grep -v '^threads ')
+  s_wide=$(MCOND_NUM_THREADS="$WIDE" "$SERVING" --smoke | grep -v '^threads ')
+
+  if [[ "$s_narrow" != "$s_wide" ]]; then
+    echo "DETERMINISM FAILURE: serving checksums differ between 1 and $WIDE threads" >&2
+    diff <(echo "$s_narrow") <(echo "$s_wide") >&2 || true
+    exit 1
+  fi
+
+  # Pair check: logits_session_<tag> must equal logits_per_request_<tag>.
+  while read -r name digest; do
+    case "$name" in
+      logits_per_request*)
+        tag="${name#logits_per_request}"
+        session=$(echo "$s_narrow" | awk -v n="logits_session$tag" \
+                  '$1 == n {print $2}')
+        if [[ -z "$session" ]]; then
+          echo "DETERMINISM FAILURE: no logits_session$tag line to pair with $name" >&2
+          exit 1
+        fi
+        if [[ "$session" != "$digest" ]]; then
+          echo "DETERMINISM FAILURE: session logits differ from per-request for '$tag'" >&2
+          echo "  per_request $digest" >&2
+          echo "  session     $session" >&2
+          exit 1
+        fi
+        ;;
+    esac
+  done <<< "$s_narrow"
+
+  echo "OK: serving checksums identical at 1 and $WIDE threads, session == per-request"
+  echo "$s_narrow"
+fi
