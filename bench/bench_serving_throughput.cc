@@ -16,20 +16,39 @@
 // (obs::HistogramApproxQuantile), good to a factor of 2 — enough to rank
 // the two paths, not to quote absolute tails.
 //
+// The concurrent mode drives a ConcurrentServer (replica pool + bounded
+// queue) with closed-loop clients: each client submits one request, waits
+// for its logits, and immediately submits the next, so offered load tracks
+// service capacity. Aggregate req/s is total completed requests over wall
+// time; p50/p99 come from the server's enqueue-to-reply histogram
+// (mcond.server.latency_us). Per-request logits stay bit-identical to a
+// solo session, checked here with ORDER-INVARIANT digests: each request's
+// FNV-1a digest is folded into a running sum mod 2^64, so any completion
+// order yields the same total (XOR would cancel identical repeats).
+//
 // Modes:
-//   (default)  human-readable summary on pubmed-sim.
+//   (default)  human-readable summary on pubmed-sim, solo paths plus one
+//              concurrent configuration (--clients C --server_threads K
+//              [--queue N] [--micro_batch B], defaults 8/4/32/4).
 //   --json     BENCH_kernels.json-style JSON on stdout (BENCH_serving.json
 //              is a committed snapshot of this).
 //   --smoke    tiny-sim, one pass, prints bit-level logit checksums for
-//              both paths and both batch modes. tools/check_determinism.sh
-//              diffs this output between thread widths AND asserts the
-//              per_request/session checksum pairs match within a run.
+//              both paths and both batch modes, plus order-invariant
+//              concurrent checksum sums at K=1 and K=8 (micro-batched).
+//              tools/check_determinism.sh diffs this output between thread
+//              widths AND asserts the per_request/session checksum pairs
+//              and the concurrent sums match within a run.
+#include <atomic>
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "core/logging.h"
 #include "core/parallel.h"
 #include "core/tensor_ops.h"
 #include "coreset/coreset.h"
@@ -39,6 +58,7 @@
 #include "nn/sgc.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/concurrent_server.h"
 #include "serve/serving_session.h"
 
 namespace mcond {
@@ -127,6 +147,67 @@ PathStats RunSession(GnnModel& model, const Graph& base,
   return stats;
 }
 
+struct ConcurrentOptions {
+  int clients = 8;
+  int server_threads = 4;
+  int queue_capacity = 32;
+  int micro_batch = 4;
+};
+
+/// Closed-loop concurrent run: `clients` threads each stream `passes`
+/// copies of the batch list through a ConcurrentServer of
+/// `server_threads` replicas, reusing one output tensor per client.
+/// `checksum` is the order-invariant sum of per-request digests.
+PathStats RunConcurrent(GnnModel& model, const Graph& base,
+                        const CondensedGraph* condensed,
+                        const std::vector<HeldOutBatch>& batches,
+                        bool graph_batch, int64_t passes,
+                        const ConcurrentOptions& opt) {
+  std::shared_ptr<const SessionBase> session_base =
+      condensed != nullptr ? SessionBase::Build(*condensed)
+                           : SessionBase::Build(base);
+  ConcurrentServer::Config cfg;
+  cfg.num_replicas = opt.server_threads;
+  cfg.queue_capacity = opt.queue_capacity;
+  cfg.micro_batch = opt.micro_batch;
+  ConcurrentServer server(std::move(session_base), model, cfg);
+
+  std::atomic<uint64_t> digest_sum{0};
+  std::atomic<int64_t> completed{0};
+  obs::TraceSpan wall("bench.concurrent", /*always_time=*/true);
+  std::vector<std::thread> client_threads;
+  client_threads.reserve(static_cast<size_t>(opt.clients));
+  for (int c = 0; c < opt.clients; ++c) {
+    client_threads.emplace_back([&] {
+      Tensor out;  // reused across the stream: steady-state zero-alloc
+      uint64_t local_sum = 0;
+      int64_t local_done = 0;
+      for (int64_t pass = 0; pass < passes; ++pass) {
+        for (const HeldOutBatch& batch : batches) {
+          const Status st = server.ServeSync(batch, graph_batch, &out);
+          MCOND_CHECK(st.ok()) << st.ToString();
+          local_sum += BitChecksumFold(kFnvSeed, out);
+          ++local_done;
+        }
+      }
+      digest_sum.fetch_add(local_sum, std::memory_order_relaxed);
+      completed.fetch_add(local_done, std::memory_order_relaxed);
+    });
+  }
+  for (std::thread& t : client_threads) t.join();
+  const double seconds = wall.ElapsedSeconds();
+  server.Shutdown();
+
+  PathStats stats;
+  stats.requests = completed.load(std::memory_order_relaxed);
+  stats.requests_per_sec = seconds > 0.0 ? stats.requests / seconds : 0.0;
+  const obs::Histogram& hist = obs::GetHistogram("mcond.server.latency_us");
+  stats.p50_us = obs::HistogramApproxQuantile(hist, 0.5);
+  stats.p99_us = obs::HistogramApproxQuantile(hist, 0.99);
+  stats.checksum = digest_sum.load(std::memory_order_relaxed);
+  return stats;
+}
+
 struct Workload {
   InductiveDataset data;
   CondensedGraph condensed;
@@ -183,6 +264,36 @@ int RunSmoke() {
     std::printf("logits_per_request_orig_%s %016" PRIx64 "\n", tag,
                 pro.checksum);
     std::printf("logits_session_orig_%s %016" PRIx64 "\n", tag, seo.checksum);
+
+    // Concurrent serving must reproduce the solo bits at every replica
+    // count and with micro-batching. Four closed-loop clients each stream
+    // the batch list once, so the order-invariant digest sum must equal
+    // 4x the solo additive sum — at K=1 and at an oversubscribed K=8.
+    ServingSession solo(w.condensed, *w.model);
+    Rng rng_e(7);
+    uint64_t solo_sum = 0;
+    for (const HeldOutBatch& batch : w.batches) {
+      solo_sum += BitChecksumFold(kFnvSeed,
+                                  solo.Serve(batch, graph_batch, rng_e));
+    }
+    ConcurrentOptions k1;
+    k1.clients = 4;
+    k1.server_threads = 1;
+    k1.micro_batch = 1;
+    ConcurrentOptions k8;
+    k8.clients = 4;
+    k8.server_threads = 8;
+    k8.micro_batch = 4;
+    const PathStats c1 =
+        RunConcurrent(*w.model, w.data.train_graph, &w.condensed, w.batches,
+                      graph_batch, /*passes=*/1, k1);
+    const PathStats c8 =
+        RunConcurrent(*w.model, w.data.train_graph, &w.condensed, w.batches,
+                      graph_batch, /*passes=*/1, k8);
+    std::printf("logits_concurrent_expected_%s %016" PRIx64 "\n", tag,
+                solo_sum * 4);
+    std::printf("logits_concurrent_k1_%s %016" PRIx64 "\n", tag, c1.checksum);
+    std::printf("logits_concurrent_k8_%s %016" PRIx64 "\n", tag, c8.checksum);
   }
   return 0;
 }
@@ -192,13 +303,17 @@ struct Row {
   PathStats stats;
 };
 
-int RunBench(bool json) {
+int RunBench(bool json, const ConcurrentOptions& opt) {
   const std::string dataset = "pubmed-sim";
   const int64_t batch_size = 32;
   const int64_t passes = 8;
   Workload w = MakeWorkload(dataset, batch_size);
   std::vector<Row> rows;
   Rng rng(7);
+  char concurrent_name[64];
+  std::snprintf(concurrent_name, sizeof(concurrent_name),
+                "condensed/concurrent_c%d_k%d_b%d", opt.clients,
+                opt.server_threads, opt.micro_batch);
   rows.push_back({"condensed/per_request",
                   RunPerRequest(*w.model, w.data.train_graph, &w.condensed,
                                 w.batches, /*graph_batch=*/true, passes,
@@ -214,20 +329,32 @@ int RunBench(bool json) {
                   RunSession(*w.model, w.data.train_graph,
                              /*condensed=*/nullptr, w.batches,
                              /*graph_batch=*/true, passes, rng)});
-
+  // Closed-loop clients against the replica-pool server. Each client
+  // streams `passes` copies, so total request volume is `clients` times a
+  // solo row's; req/s is the aggregate across all of them.
+  rows.push_back({concurrent_name,
+                  RunConcurrent(*w.model, w.data.train_graph, &w.condensed,
+                                w.batches, /*graph_batch=*/true, passes,
+                                opt)});
   if (json) {
     std::printf("{\n");
     std::printf(
         "  \"note\": \"Serving-throughput baseline: %s, batch_size %lld, "
         "%lld stream passes, graph-batch mode. Session and per-request "
         "logits are bit-identical (ctest check_determinism); p50/p99 are "
-        "pow2-bucket approximations from the obs histograms. context "
-        "records the capture machine's CPU count — on a 1-CPU container "
-        "the session/per_request ratio understates the multi-core gap; "
-        "rerun bench_serving_throughput --json there and replace this "
-        "file.\",\n",
+        "pow2-bucket approximations from the obs histograms. The "
+        "concurrent row drives a ConcurrentServer (%d replicas, queue %d, "
+        "micro-batch %d) with %d closed-loop clients; its requests_per_sec "
+        "is the aggregate across clients and its p50/p99 are "
+        "enqueue-to-reply, so queueing delay is included. context records "
+        "the capture machine's CPU count — on a 1-CPU container replicas "
+        "time-slice one core, so aggregate concurrent req/s cannot exceed "
+        "solo session req/s there and the multi-core gain is invisible; "
+        "rerun bench_serving_throughput --json on a multi-core machine and "
+        "replace this file.\",\n",
         dataset.c_str(), static_cast<long long>(batch_size),
-        static_cast<long long>(passes));
+        static_cast<long long>(passes), opt.server_threads,
+        opt.queue_capacity, opt.micro_batch, opt.clients);
     std::printf("  \"context\": {\"num_cpus\": %d, \"threads\": %d},\n",
                 ThreadPool::DefaultNumThreads(),
                 ThreadPool::Global().NumThreads());
@@ -260,8 +387,14 @@ int RunBench(bool json) {
         rows[1].stats.requests_per_sec / rows[0].stats.requests_per_sec;
     const double orig_speedup =
         rows[3].stats.requests_per_sec / rows[2].stats.requests_per_sec;
+    const double concurrent_vs_solo =
+        rows[4].stats.requests_per_sec / rows[1].stats.requests_per_sec;
     std::printf("  session speedup: condensed %.2fx, original %.2fx\n",
                 cond_speedup, orig_speedup);
+    std::printf("  concurrent aggregate vs solo session: %.2fx "
+                "(%d clients, %d replicas, %d cpus)\n",
+                concurrent_vs_solo, opt.clients, opt.server_threads,
+                ThreadPool::DefaultNumThreads());
   }
   return 0;
 }
@@ -271,9 +404,23 @@ int RunBench(bool json) {
 
 int main(int argc, char** argv) {
   bool json = false;
+  mcond::ConcurrentOptions opt;
+  const auto int_flag = [&](int i, const char* name, int* out) {
+    if (std::strcmp(argv[i], name) == 0 && i + 1 < argc) {
+      *out = std::atoi(argv[i + 1]);
+      return true;
+    }
+    return false;
+  };
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) return mcond::RunSmoke();
     if (std::strcmp(argv[i], "--json") == 0) json = true;
+    if (int_flag(i, "--clients", &opt.clients) ||
+        int_flag(i, "--server_threads", &opt.server_threads) ||
+        int_flag(i, "--queue", &opt.queue_capacity) ||
+        int_flag(i, "--micro_batch", &opt.micro_batch)) {
+      ++i;
+    }
   }
-  return mcond::RunBench(json);
+  return mcond::RunBench(json, opt);
 }

@@ -170,8 +170,23 @@ void ThreadPool::SetNumThreads(int n) {
   // Clamp rather than crash: callers pass user-supplied widths (--threads,
   // benchmark sweeps) and "too low" has an obvious safe meaning.
   n = std::max(1, std::min(n, 1024));
+  // Serialize behind the dispatch lock: RunRange holds it for the full
+  // lifetime of a pooled job, so acquiring it here waits out any in-flight
+  // kernel before the workers are joined, and blocks new dispatches until
+  // the resized pool is up. Inline execution paths never take this lock and
+  // keep running undisturbed.
+  std::lock_guard<std::mutex> dispatch_lock(impl_->dispatch_mu);
   impl_->Stop();
   impl_->Start(n);
+}
+
+ScopedInlineParallelRegion::ScopedInlineParallelRegion()
+    : prev_(tls_in_parallel_region) {
+  tls_in_parallel_region = true;
+}
+
+ScopedInlineParallelRegion::~ScopedInlineParallelRegion() {
+  tls_in_parallel_region = prev_;
 }
 
 void ThreadPool::RunRange(int64_t begin, int64_t end, int64_t grain,

@@ -46,8 +46,13 @@ class ThreadPool {
   int NumThreads() const;
 
   /// Resizes the pool by joining current workers and spawning new ones.
-  /// Must not race with in-flight ParallelFor calls; intended for tests,
-  /// benchmarks, and CLI startup.
+  /// Safe to call from any thread at any time: the resize serializes behind
+  /// the same dispatch lock that every pooled ParallelFor holds for its
+  /// whole job, so it waits out any in-flight kernel and blocks new
+  /// dispatches until the new workers exist. Threads running kernels inline
+  /// (1-thread pool, small ranges, nested calls, ScopedInlineParallelRegion)
+  /// never touch the pool and are unaffected. Concurrent SetNumThreads
+  /// calls serialize against each other; last one wins.
   void SetNumThreads(int n);
 
   /// Invokes fn(chunk_begin, chunk_end) over a disjoint partition of
@@ -78,6 +83,27 @@ class ThreadPool {
 
   struct Impl;
   Impl* impl_;
+};
+
+/// RAII: marks the calling thread as already being inside a parallel
+/// region, so every ParallelFor it issues (directly or through kernels)
+/// runs inline at width 1 without touching the global pool. Results are
+/// bit-identical to pooled execution by the determinism contract above.
+///
+/// This is how concurrent serving workers avoid oversubscription: K replica
+/// threads each run their kernels inline instead of contending for the
+/// pool's single job slot, which would serialize them. Nestable; restores
+/// the previous state on destruction.
+class ScopedInlineParallelRegion {
+ public:
+  ScopedInlineParallelRegion();
+  ~ScopedInlineParallelRegion();
+  ScopedInlineParallelRegion(const ScopedInlineParallelRegion&) = delete;
+  ScopedInlineParallelRegion& operator=(const ScopedInlineParallelRegion&) =
+      delete;
+
+ private:
+  bool prev_;
 };
 
 /// ThreadPool::Global().ParallelFor(...).

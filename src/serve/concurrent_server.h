@@ -1,0 +1,177 @@
+#ifndef MCOND_SERVE_CONCURRENT_SERVER_H_
+#define MCOND_SERVE_CONCURRENT_SERVER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/status.h"
+#include "core/tensor.h"
+#include "graph/inductive.h"
+#include "nn/module.h"
+#include "obs/metrics.h"
+#include "serve/serving_session.h"
+#include "serve/session_base.h"
+
+namespace mcond {
+
+struct ServeRequest;  // internal; defined in concurrent_server.cc
+
+/// K ServingSession replicas over one shared SessionBase: the immutable
+/// build-time caches (self-looped base, degree accumulators, normalized
+/// base operator blocks, CSC patch indexes) are paid once, and only the
+/// per-replica workspaces/arenas scale with K. The replicas share one
+/// GnnModel — Predict is read-only for every bundled architecture, so
+/// concurrent forward passes from distinct threads are safe.
+class ReplicaPool {
+ public:
+  ReplicaPool(std::shared_ptr<const SessionBase> base, GnnModel& model,
+              int num_replicas);
+
+  int size() const { return static_cast<int>(replicas_.size()); }
+  ServingSession& replica(int i) { return *replicas_[static_cast<size_t>(i)]; }
+  const std::shared_ptr<const SessionBase>& session_base() const {
+    return base_;
+  }
+
+  /// Bytes of the pool: the shared SessionBase counted ONCE plus every
+  /// replica's own workspace (ServingSession::workspace_bytes()). Grows
+  /// sublinearly in K versus K independent sessions, which would each
+  /// rebuild the base caches.
+  int64_t memory_bytes() const;
+
+ private:
+  std::shared_ptr<const SessionBase> base_;
+  std::vector<std::unique_ptr<ServingSession>> replicas_;
+};
+
+/// Handle for one submitted request. Wait() blocks until a worker has
+/// served the request and copied its logits into the caller's output
+/// tensor, then returns the final status. Copyable; default-constructed
+/// tickets are empty and must not be waited on.
+class ServeTicket {
+ public:
+  ServeTicket() = default;
+  /// Blocks until the request completes. Idempotent after completion.
+  Status Wait();
+
+ private:
+  friend class ConcurrentServer;
+  explicit ServeTicket(std::shared_ptr<ServeRequest> req)
+      : req_(std::move(req)) {}
+  std::shared_ptr<ServeRequest> req_;
+};
+
+/// Concurrent serving engine: K session replicas behind a bounded MPMC
+/// request queue.
+///
+/// Architecture
+///  - A ReplicaPool of `num_replicas` sessions over one shared SessionBase.
+///  - A bounded FIFO queue of `queue_capacity` pending requests with
+///    explicit backpressure: when full, Submit either blocks until space
+///    frees up (`block_when_full`, the default) or returns
+///    FailedPrecondition immediately so callers can shed load.
+///  - One worker thread per replica. Each worker pins its replica (warm
+///    buffers, no cross-thread handoff of scratch state) and runs its
+///    kernels inline at width 1 via ScopedInlineParallelRegion — K workers
+///    would otherwise serialize on the global pool's dispatch lock and gain
+///    nothing; width-1 execution is bit-identical by the determinism
+///    contract (disjoint chunks, fixed intra-chunk order).
+///  - Micro-batching: a worker drains up to `micro_batch` queued requests
+///    in one lock acquisition and serves them back-to-back on its warm
+///    replica. Requests are NOT merged into one composed adjacency —
+///    attaching extra nodes changes base-row degrees, hence normalizers,
+///    hence logits, which would break exactness (see
+///    docs/performance.md). Coalescing only amortizes queue synchronization
+///    while every request keeps its solo math.
+///
+/// Determinism: each request's logits are bit-identical to a solo
+/// ServingSession::Serve of the same batch, regardless of replica count,
+/// queue order, or micro-batch size. Tests enforce memcmp equality.
+///
+/// Allocation: the caller owns the output tensor; a worker resizes it only
+/// on shape change and memcpys into it otherwise, so steady-state serving
+/// with reused outputs performs zero tensor-heap allocations end to end.
+///
+/// Lifetime: the batch behind a Submit must stay alive and unmodified
+/// until its ticket's Wait returns; base graph and model must outlive the
+/// server. Shutdown (or destruction) stops admissions, drains the queue,
+/// and joins the workers.
+///
+/// Observability (`mcond.server.*`): `requests` / `rejected` /
+/// `micro_batches` counters, `queue_depth` / `inflight` gauges, and the
+/// `latency_us` enqueue-to-reply histogram.
+class ConcurrentServer {
+ public:
+  struct Config {
+    int num_replicas = 1;
+    int queue_capacity = 64;
+    /// Max requests one worker drains per queue pass (1 = no coalescing).
+    int micro_batch = 1;
+    /// Full queue: true → Submit blocks; false → FailedPrecondition.
+    bool block_when_full = true;
+    /// Test hook: workers start idle until Resume(), so tests can fill the
+    /// queue deterministically and observe backpressure.
+    bool start_paused = false;
+  };
+
+  ConcurrentServer(std::shared_ptr<const SessionBase> base, GnnModel& model,
+                   const Config& config);
+  ~ConcurrentServer();
+
+  ConcurrentServer(const ConcurrentServer&) = delete;
+  ConcurrentServer& operator=(const ConcurrentServer&) = delete;
+
+  /// Enqueues one request. Validates shapes up front (InvalidArgument —
+  /// workers never abort on caller mistakes); applies the backpressure
+  /// policy when the queue is full; FailedPrecondition after Shutdown.
+  /// On success the returned ticket completes once `*out` holds the n×C
+  /// batch logits.
+  StatusOr<ServeTicket> Submit(const HeldOutBatch& batch, bool graph_batch,
+                               Tensor* out);
+
+  /// Submit + Wait.
+  Status ServeSync(const HeldOutBatch& batch, bool graph_batch, Tensor* out);
+
+  /// Releases workers paused by `start_paused`. No-op otherwise.
+  void Resume();
+
+  /// Stops admitting, unblocks rejected submitters, drains every queued
+  /// request, and joins the workers. Idempotent; implied by destruction.
+  void Shutdown();
+
+  ReplicaPool& pool() { return pool_; }
+  const Config& config() const { return config_; }
+
+ private:
+  void WorkerLoop(int worker_index);
+
+  Config config_;
+  ReplicaPool pool_;
+
+  std::mutex mu_;
+  std::condition_variable queue_cv_;  // workers: requests or shutdown
+  std::condition_variable space_cv_;  // blocked submitters: space or shutdown
+  std::deque<std::shared_ptr<ServeRequest>> queue_;
+  bool accepting_ = true;
+  bool stopping_ = false;
+  bool paused_ = false;
+
+  std::vector<std::thread> workers_;
+
+  // Cached metric handles (registry lookup takes a mutex).
+  obs::Counter& requests_;
+  obs::Counter& rejected_;
+  obs::Counter& micro_batches_;
+  obs::Gauge& queue_depth_;
+  obs::Gauge& inflight_;
+  obs::Histogram& latency_us_;
+};
+
+}  // namespace mcond
+
+#endif  // MCOND_SERVE_CONCURRENT_SERVER_H_

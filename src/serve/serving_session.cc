@@ -33,6 +33,9 @@ namespace mcond {
 //  - CsrMatrix::Multiply accumulates acc[c] += av*bv in (ka asc, kb asc)
 //    order from an exact 0.0f, then emits each row's touched columns in
 //    ascending order. ConvertLinks reproduces exactly that.
+//
+// The build-time caches live in a shared, immutable SessionBase (see
+// session_base.h) so replica pools pay them once; this file only reads them.
 // ---------------------------------------------------------------------------
 
 namespace {
@@ -42,25 +45,27 @@ int64_t RowGrain(int64_t nnz, int64_t rows) {
   return GrainFromCost(2 * (nnz / std::max<int64_t>(rows, 1) + 1));
 }
 
+template <typename T>
+int64_t VecBytes(const std::vector<T>& v) {
+  return static_cast<int64_t>(v.capacity() * sizeof(T));
+}
+
+int64_t CsrStorageBytes(const CsrMatrix& m) {
+  return VecBytes(m.row_ptr()) + VecBytes(m.col_idx()) + VecBytes(m.values());
+}
+
 }  // namespace
 
 ServingSession::ServingSession(const Graph& base, GnnModel& model)
-    : base_(base),
-      mapping_(nullptr),
-      model_(model),
-      requests_(obs::GetCounter("mcond.serve.session_requests")),
-      fallbacks_(obs::GetCounter("mcond.serve.session_fallbacks")),
-      convert_hist_(obs::GetHistogram("mcond.serve.session_convert_us")),
-      compose_hist_(obs::GetHistogram("mcond.serve.session_compose_us")),
-      forward_hist_(obs::GetHistogram("mcond.serve.session_forward_us")),
-      total_hist_(obs::GetHistogram("mcond.serve.session_total_us")) {
-  BuildBaseCaches();
-}
+    : ServingSession(SessionBase::Build(base), model) {}
 
 ServingSession::ServingSession(const CondensedGraph& condensed,
                                GnnModel& model)
-    : base_(condensed.graph),
-      mapping_(&condensed.mapping),
+    : ServingSession(SessionBase::Build(condensed), model) {}
+
+ServingSession::ServingSession(std::shared_ptr<const SessionBase> base,
+                               GnnModel& model)
+    : base_(std::move(base)),
       model_(model),
       requests_(obs::GetCounter("mcond.serve.session_requests")),
       fallbacks_(obs::GetCounter("mcond.serve.session_fallbacks")),
@@ -68,63 +73,10 @@ ServingSession::ServingSession(const CondensedGraph& condensed,
       compose_hist_(obs::GetHistogram("mcond.serve.session_compose_us")),
       forward_hist_(obs::GetHistogram("mcond.serve.session_forward_us")),
       total_hist_(obs::GetHistogram("mcond.serve.session_total_us")) {
-  MCOND_CHECK_GT(mapping_->Nnz(), 0)
-      << "condensed artifact has no mapping; cannot build a serving session";
-  MCOND_CHECK_EQ(mapping_->cols(), base_.NumNodes());
-  BuildBaseCaches();
-}
-
-void ServingSession::BuildBaseCaches() {
-  MCOND_TRACE_SPAN("serve.session.build");
-  const CsrMatrix& raw = base_.adjacency();
-  n_base_ = raw.rows();
-  feat_dim_ = base_.FeatureDim();
-
-  base_loops_ = AddSelfLoops(raw);
-  sym_base_ = SymNormalize(raw, /*add_self_loops=*/false);
-  // The Graph's cached normalized forms must share structure with what we
-  // rebuilt — they come from the same deterministic AddSelfLoops.
-  MCOND_CHECK_EQ(base_.normalized_adjacency().Nnz(), base_loops_.Nnz());
-  if (base_.row_normalized_adjacency().Nnz() != base_loops_.Nnz()) {
-    // RowNormalize dropped entries at graph construction (a degree-0 base
-    // row with stored entries). Incremental patching cannot reproduce a
-    // structural drop, so this session always takes the exact fallback.
-    fallback_only_ = true;
-  }
-
+  MCOND_CHECK(base_ != nullptr);
+  n_base_ = base_->n_base;
+  feat_dim_ = base_->feat_dim;
   const size_t n = static_cast<size_t>(n_base_);
-  deg_loop_acc_.resize(n);
-  deg_noloop_acc_.resize(n);
-  dinv_gcn_.resize(n);
-  inv_row_.resize(n);
-  dinv_noloop_.resize(n);
-  for (int64_t r = 0; r < n_base_; ++r) {
-    double acc = 0.0;
-    for (int64_t k = base_loops_.row_ptr()[static_cast<size_t>(r)];
-         k < base_loops_.row_ptr()[static_cast<size_t>(r) + 1]; ++k) {
-      acc += base_loops_.values()[static_cast<size_t>(k)];
-    }
-    deg_loop_acc_[static_cast<size_t>(r)] = acc;
-    const float deg = static_cast<float>(acc);
-    dinv_gcn_[static_cast<size_t>(r)] =
-        deg > 0.0f ? 1.0f / std::sqrt(deg) : 0.0f;
-    inv_row_[static_cast<size_t>(r)] = deg != 0.0f ? 1.0f / deg : 0.0f;
-    if (deg == 0.0f && base_loops_.RowNnz(r) > 0) fallback_only_ = true;
-
-    double acc_nl = 0.0;
-    for (int64_t k = raw.row_ptr()[static_cast<size_t>(r)];
-         k < raw.row_ptr()[static_cast<size_t>(r) + 1]; ++k) {
-      acc_nl += raw.values()[static_cast<size_t>(k)];
-    }
-    deg_noloop_acc_[static_cast<size_t>(r)] = acc_nl;
-    const float deg_nl = static_cast<float>(acc_nl);
-    dinv_noloop_[static_cast<size_t>(r)] =
-        deg_nl > 0.0f ? 1.0f / std::sqrt(deg_nl) : 0.0f;
-  }
-
-  BuildCsc(base_loops_, &csc_loops_);
-  BuildCsc(raw, &csc_noloop_);
-
   changed_stamp_.assign(n, 0);
   changed_.reserve(n);
   extra_.resize(n);
@@ -135,33 +87,9 @@ void ServingSession::BuildBaseCaches() {
   new_dinv_noloop_.resize(n);
   cursor_loop_.resize(n);
   cursor_noloop_.resize(n);
-  if (mapping_ != nullptr) {
+  if (base_->mapping != nullptr) {
     conv_acc_.assign(n, 0.0f);
     conv_stamp_.assign(n, 0);
-  }
-}
-
-void ServingSession::BuildCsc(const CsrMatrix& m, CscIndex* out) {
-  const int64_t cols = m.cols();
-  const int64_t nnz = m.Nnz();
-  out->col_ptr.assign(static_cast<size_t>(cols) + 1, 0);
-  for (const int32_t c : m.col_idx()) {
-    ++out->col_ptr[static_cast<size_t>(c) + 1];
-  }
-  for (size_t c = 1; c < out->col_ptr.size(); ++c) {
-    out->col_ptr[c] += out->col_ptr[c - 1];
-  }
-  out->row.resize(static_cast<size_t>(nnz));
-  out->val_idx.resize(static_cast<size_t>(nnz));
-  std::vector<int64_t> cursor(out->col_ptr.begin(), out->col_ptr.end() - 1);
-  for (int64_t r = 0; r < m.rows(); ++r) {
-    for (int64_t k = m.row_ptr()[static_cast<size_t>(r)];
-         k < m.row_ptr()[static_cast<size_t>(r) + 1]; ++k) {
-      const int32_t c = m.col_idx()[static_cast<size_t>(k)];
-      const int64_t pos = cursor[static_cast<size_t>(c)]++;
-      out->row[static_cast<size_t>(pos)] = static_cast<int32_t>(r);
-      out->val_idx[static_cast<size_t>(pos)] = k;
-    }
   }
 }
 
@@ -170,7 +98,7 @@ void ServingSession::EnsureBatchShape(int64_t n) {
   // The only allocating path once a shape is warm. Runs with no arena
   // installed, so these tensors live on the heap and persist.
   features_ = Tensor::Uninitialized(n_base_ + n, feat_dim_);
-  const float* src = base_.features().data();
+  const float* src = base_->base_graph.features().data();
   ParallelFor(
       0, n_base_, RowGrain(n_base_ * feat_dim_, n_base_),
       [&](int64_t r0, int64_t r1) {
@@ -197,7 +125,7 @@ void ServingSession::BumpEpoch() {
 
 ServingSession::LinksView ServingSession::ConvertLinks(
     const CsrMatrix& links) {
-  const CsrMatrix& m = *mapping_;
+  const CsrMatrix& m = *base_->mapping;
   const int64_t n = links.rows();
   conv_ci_.clear();
   conv_v_.clear();
@@ -239,6 +167,7 @@ ServingSession::LinksView ServingSession::ConvertLinks(
 
 bool ServingSession::ComputeDegrees(const LinksView& lv,
                                     const CsrMatrix* inter, int64_t n) {
+  const SessionBase& sb = *base_;
   changed_.clear();
   // Pass 1: which base rows gain a link, and their updated exact degree
   // accumulators. Iterating batch rows in ascending order appends each
@@ -252,8 +181,8 @@ bool ServingSession::ComputeDegrees(const LinksView& lv,
         changed_stamp_[cs] = epoch_;
         changed_.push_back(c);
         extra_[cs] = 0;
-        new_acc_loop_[cs] = deg_loop_acc_[cs];
-        new_acc_noloop_[cs] = deg_noloop_acc_[cs];
+        new_acc_loop_[cs] = sb.deg_loop_acc[cs];
+        new_acc_noloop_[cs] = sb.deg_noloop_acc[cs];
       }
       ++extra_[cs];
       const float v = lv.values[k];
@@ -311,8 +240,10 @@ bool ServingSession::ComputeDegrees(const LinksView& lv,
 
 void ServingSession::BuildComposed(const LinksView& lv,
                                    const CsrMatrix* inter, int64_t n) {
+  const SessionBase& sb = *base_;
   const int64_t total = n_base_ + n;
-  const CsrMatrix& raw = base_.adjacency();
+  const CsrMatrix& raw = sb.base_graph.adjacency();
+  const CsrMatrix& base_loops = sb.base_loops;
 
   // Row extents. Batch loop-rows carry an extra self-loop entry unless the
   // inter row already stores its diagonal.
@@ -323,7 +254,7 @@ void ServingSession::BuildComposed(const LinksView& lv,
   for (int64_t r = 0; r < n_base_; ++r) {
     const size_t rs = static_cast<size_t>(r);
     const int64_t ext = changed_stamp_[rs] == epoch_ ? extra_[rs] : 0;
-    gcn_rp_[rs + 1] = gcn_rp_[rs] + base_loops_.RowNnz(r) + ext;
+    gcn_rp_[rs + 1] = gcn_rp_[rs] + base_loops.RowNnz(r) + ext;
     sym_rp_[rs + 1] = sym_rp_[rs] + raw.RowNnz(r) + ext;
   }
   for (int64_t i = 0; i < n; ++i) {
@@ -348,18 +279,19 @@ void ServingSession::BuildComposed(const LinksView& lv,
 
   // Base rows: copy structure + cached normalized values in parallel.
   // Changed rows get their values overwritten by the patch phases below.
-  const float* gcn_base_v = base_.normalized_adjacency().values().data();
-  const float* row_base_v = base_.row_normalized_adjacency().values().data();
-  const float* sym_base_v = sym_base_.values().data();
+  const float* gcn_base_v = sb.base_graph.normalized_adjacency().values().data();
+  const float* row_base_v =
+      sb.base_graph.row_normalized_adjacency().values().data();
+  const float* sym_base_v = sb.sym_base.values().data();
   ParallelFor(
-      0, n_base_, RowGrain(base_loops_.Nnz() + raw.Nnz(), n_base_),
+      0, n_base_, RowGrain(base_loops.Nnz() + raw.Nnz(), n_base_),
       [&](int64_t r0, int64_t r1) {
         for (int64_t r = r0; r < r1; ++r) {
           const size_t rs = static_cast<size_t>(r);
-          const int64_t src = base_loops_.row_ptr()[rs];
-          const int64_t nb = base_loops_.RowNnz(r);
+          const int64_t src = base_loops.row_ptr()[rs];
+          const int64_t nb = base_loops.RowNnz(r);
           const int64_t dst = gcn_rp_[rs];
-          std::memcpy(gcn_ci_.data() + dst, base_loops_.col_idx().data() + src,
+          std::memcpy(gcn_ci_.data() + dst, base_loops.col_idx().data() + src,
                       static_cast<size_t>(nb) * sizeof(int32_t));
           std::memcpy(gcn_v_.data() + dst, gcn_base_v + src,
                       static_cast<size_t>(nb) * sizeof(float));
@@ -461,7 +393,7 @@ void ServingSession::BuildComposed(const LinksView& lv,
   // with the fresh row normalizer (columns may be old or new).
   const int64_t changed_n = static_cast<int64_t>(changed_.size());
   const int64_t patch_grain = RowGrain(
-      changed_n * (base_loops_.Nnz() / std::max<int64_t>(n_base_, 1) + 1),
+      changed_n * (base_loops.Nnz() / std::max<int64_t>(n_base_, 1) + 1),
       std::max<int64_t>(changed_n, 1));
   ParallelFor(
       0, changed_n, patch_grain,
@@ -471,32 +403,31 @@ void ServingSession::BuildComposed(const LinksView& lv,
               static_cast<size_t>(idx)]);
           const float dr_g = new_dinv_gcn_[rs];
           const float ir = new_inv_row_[rs];
-          const int64_t src = base_loops_.row_ptr()[rs];
+          const int64_t src = base_loops.row_ptr()[rs];
           const int64_t dst = gcn_rp_[rs];
-          const int64_t nb = base_loops_.row_ptr()[rs + 1] - src;
+          const int64_t nb = base_loops.row_ptr()[rs + 1] - src;
           for (int64_t k = 0; k < nb; ++k) {
             const size_t cs = static_cast<size_t>(
-                base_loops_.col_idx()[static_cast<size_t>(src + k)]);
-            const float dc = changed_stamp_[cs] == epoch_ ? new_dinv_gcn_[cs]
-                                                          : dinv_gcn_[cs];
-            const float v =
-                base_loops_.values()[static_cast<size_t>(src + k)];
+                base_loops.col_idx()[static_cast<size_t>(src + k)]);
+            const float dc = changed_stamp_[cs] == epoch_
+                                 ? new_dinv_gcn_[cs]
+                                 : sb.dinv_gcn[cs];
+            const float v = base_loops.values()[static_cast<size_t>(src + k)];
             gcn_v_[static_cast<size_t>(dst + k)] = v * dr_g * dc;
             row_v_[static_cast<size_t>(dst + k)] = v * ir;
           }
           const float dr_s = new_dinv_noloop_[rs];
-          const int64_t src_s = base_.adjacency().row_ptr()[rs];
+          const int64_t src_s = raw.row_ptr()[rs];
           const int64_t dst_s = sym_rp_[rs];
-          const int64_t nb_s = base_.adjacency().row_ptr()[rs + 1] - src_s;
+          const int64_t nb_s = raw.row_ptr()[rs + 1] - src_s;
           for (int64_t k = 0; k < nb_s; ++k) {
             const size_t cs = static_cast<size_t>(
-                base_.adjacency().col_idx()[static_cast<size_t>(src_s + k)]);
+                raw.col_idx()[static_cast<size_t>(src_s + k)]);
             const float dc = changed_stamp_[cs] == epoch_
                                  ? new_dinv_noloop_[cs]
-                                 : dinv_noloop_[cs];
+                                 : sb.dinv_noloop[cs];
             sym_v_[static_cast<size_t>(dst_s + k)] =
-                base_.adjacency().values()[static_cast<size_t>(src_s + k)] *
-                dr_s * dc;
+                raw.values()[static_cast<size_t>(src_s + k)] * dr_s * dc;
           }
         }
       },
@@ -512,30 +443,30 @@ void ServingSession::BuildComposed(const LinksView& lv,
           const size_t cs = static_cast<size_t>(changed_[
               static_cast<size_t>(idx)]);
           const float dc_g = new_dinv_gcn_[cs];
-          for (int64_t t = csc_loops_.col_ptr[cs];
-               t < csc_loops_.col_ptr[cs + 1]; ++t) {
-            const size_t rs =
-                static_cast<size_t>(csc_loops_.row[static_cast<size_t>(t)]);
+          for (int64_t t = sb.csc_loops.col_ptr[cs];
+               t < sb.csc_loops.col_ptr[cs + 1]; ++t) {
+            const size_t rs = static_cast<size_t>(
+                sb.csc_loops.row[static_cast<size_t>(t)]);
             if (changed_stamp_[rs] == epoch_) continue;
-            const int64_t k = csc_loops_.val_idx[static_cast<size_t>(t)];
+            const int64_t k = sb.csc_loops.val_idx[static_cast<size_t>(t)];
             const int64_t pos =
-                gcn_rp_[rs] + (k - base_loops_.row_ptr()[rs]);
+                gcn_rp_[rs] + (k - base_loops.row_ptr()[rs]);
             gcn_v_[static_cast<size_t>(pos)] =
-                base_loops_.values()[static_cast<size_t>(k)] * dinv_gcn_[rs] *
-                dc_g;
+                base_loops.values()[static_cast<size_t>(k)] *
+                sb.dinv_gcn[rs] * dc_g;
           }
           const float dc_s = new_dinv_noloop_[cs];
-          for (int64_t t = csc_noloop_.col_ptr[cs];
-               t < csc_noloop_.col_ptr[cs + 1]; ++t) {
-            const size_t rs =
-                static_cast<size_t>(csc_noloop_.row[static_cast<size_t>(t)]);
+          for (int64_t t = sb.csc_noloop.col_ptr[cs];
+               t < sb.csc_noloop.col_ptr[cs + 1]; ++t) {
+            const size_t rs = static_cast<size_t>(
+                sb.csc_noloop.row[static_cast<size_t>(t)]);
             if (changed_stamp_[rs] == epoch_) continue;
-            const int64_t k = csc_noloop_.val_idx[static_cast<size_t>(t)];
+            const int64_t k = sb.csc_noloop.val_idx[static_cast<size_t>(t)];
             const int64_t pos =
-                sym_rp_[rs] + (k - base_.adjacency().row_ptr()[rs]);
+                sym_rp_[rs] + (k - raw.row_ptr()[rs]);
             sym_v_[static_cast<size_t>(pos)] =
-                base_.adjacency().values()[static_cast<size_t>(k)] *
-                dinv_noloop_[rs] * dc_s;
+                raw.values()[static_cast<size_t>(k)] * sb.dinv_noloop[rs] *
+                dc_s;
           }
         }
       },
@@ -563,7 +494,7 @@ void ServingSession::FallbackCompose(const HeldOutBatch& batch,
   fallbacks_.Increment();
   CsrMatrix owned_links;
   const CsrMatrix* links = &batch.links;
-  if (mapping_ != nullptr) {
+  if (base_->mapping != nullptr) {
     std::vector<int64_t> rp(conv_rp_.begin(), conv_rp_.begin() + n + 1);
     owned_links = CsrMatrix::FromParts(
         n, n_base_, std::move(rp), conv_ci_, conv_v_, /*validate=*/false);
@@ -571,9 +502,10 @@ void ServingSession::FallbackCompose(const HeldOutBatch& batch,
   }
   CsrMatrix composed;
   if (graph_batch) {
-    composed = ComposeBlockAdjacency(base_.adjacency(), *links, batch.inter);
+    composed = ComposeBlockAdjacency(base_->base_graph.adjacency(), *links,
+                                     batch.inter);
   } else {
-    composed = ComposeBlockAdjacency(base_.adjacency(), *links,
+    composed = ComposeBlockAdjacency(base_->base_graph.adjacency(), *links,
                                      CsrMatrix::FromTriplets(n, n, {}));
   }
   ops_ = GraphOperators::FromAdjacency(composed);
@@ -595,13 +527,14 @@ void ServingSession::StackBatchFeatures(const Tensor& batch_features) {
 const Tensor& ServingSession::Serve(const HeldOutBatch& batch,
                                     bool graph_batch, Rng& rng) {
   obs::TraceSpan total_span("serve.session", /*always_time=*/true);
+  const SessionBase& sb = *base_;
   const int64_t n = batch.size();
   MCOND_CHECK_GT(n, 0) << "cannot serve an empty batch";
   MCOND_CHECK_LE(n_base_ + n, std::numeric_limits<int32_t>::max());
   MCOND_CHECK_EQ(batch.features.cols(), feat_dim_);
   MCOND_CHECK_EQ(batch.links.rows(), n);
-  if (mapping_ != nullptr) {
-    MCOND_CHECK_EQ(batch.links.cols(), mapping_->rows());
+  if (sb.mapping != nullptr) {
+    MCOND_CHECK_EQ(batch.links.cols(), sb.mapping->rows());
   } else {
     MCOND_CHECK_EQ(batch.links.cols(), n_base_);
   }
@@ -627,7 +560,7 @@ const Tensor& ServingSession::Serve(const HeldOutBatch& batch,
     LinksView lv;
     {
       obs::TraceSpan span("serve.session.convert", /*always_time=*/true);
-      if (mapping_ != nullptr) {
+      if (sb.mapping != nullptr) {
         lv = ConvertLinks(batch.links);
       } else {
         lv = LinksView{batch.links.row_ptr().data(),
@@ -639,7 +572,7 @@ const Tensor& ServingSession::Serve(const HeldOutBatch& batch,
     links_nnz = lv.nnz;
     {
       obs::TraceSpan span("serve.session.compose", /*always_time=*/true);
-      bool exact = !fallback_only_ && ComputeDegrees(lv, inter, n);
+      bool exact = !sb.fallback_only && ComputeDegrees(lv, inter, n);
       if (exact) {
         BuildComposed(lv, inter, n);
       } else {
@@ -656,7 +589,7 @@ const Tensor& ServingSession::Serve(const HeldOutBatch& batch,
   }
   // The paper's memory model over the RAW composed adjacency (what the
   // per-request path reports before normalization).
-  const int64_t raw_nnz = base_.adjacency().Nnz() + 2 * links_nnz +
+  const int64_t raw_nnz = sb.base_graph.adjacency().Nnz() + 2 * links_nnz +
                           (inter != nullptr ? inter->Nnz() : 0);
   composed_csr_bytes_ =
       raw_nnz * static_cast<int64_t>(sizeof(float) + sizeof(int32_t)) +
@@ -671,6 +604,29 @@ const Tensor& ServingSession::Serve(const HeldOutBatch& batch,
               static_cast<size_t>(n * logits.cols()) * sizeof(float));
   total_hist_.Record(total_span.ElapsedMicros());
   return out_logits_;
+}
+
+int64_t ServingSession::workspace_bytes() const {
+  int64_t bytes =
+      VecBytes(conv_acc_) + VecBytes(conv_stamp_) + VecBytes(conv_touched_) +
+      VecBytes(conv_rp_) + VecBytes(conv_ci_) + VecBytes(conv_v_) +
+      VecBytes(changed_stamp_) + VecBytes(changed_) + VecBytes(extra_) +
+      VecBytes(new_acc_loop_) + VecBytes(new_acc_noloop_) +
+      VecBytes(new_dinv_gcn_) + VecBytes(new_inv_row_) +
+      VecBytes(new_dinv_noloop_) + VecBytes(b_dinv_gcn_) +
+      VecBytes(b_inv_row_) + VecBytes(b_dinv_noloop_) + VecBytes(gcn_rp_) +
+      VecBytes(row_rp_) + VecBytes(sym_rp_) + VecBytes(gcn_ci_) +
+      VecBytes(row_ci_) + VecBytes(sym_ci_) + VecBytes(gcn_v_) +
+      VecBytes(row_v_) + VecBytes(sym_v_) + VecBytes(cursor_loop_) +
+      VecBytes(cursor_noloop_);
+  // Composed CSR storage currently parked inside ops_ (the scratch vectors
+  // above are empty right after a serve moved them there — no double count).
+  bytes += CsrStorageBytes(ops_.gcn_norm) + CsrStorageBytes(ops_.row_norm) +
+           CsrStorageBytes(ops_.sym_no_loop);
+  bytes += (features_.size() + out_logits_.size()) *
+           static_cast<int64_t>(sizeof(float));
+  bytes += static_cast<int64_t>(arena_.bytes_reserved());
+  return bytes;
 }
 
 }  // namespace mcond

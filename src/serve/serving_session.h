@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <vector>
 
+#include <memory>
+
 #include "condense/condensed.h"
 #include "core/csr_matrix.h"
 #include "core/rng.h"
@@ -12,6 +14,7 @@
 #include "graph/inductive.h"
 #include "nn/module.h"
 #include "obs/metrics.h"
+#include "serve/session_base.h"
 
 namespace mcond {
 
@@ -25,7 +28,7 @@ namespace mcond {
 /// rows from scratch, although >95% of that work is identical between
 /// requests. The session amortizes the static part:
 ///
-/// Cached at build time
+/// Cached at build time (in a SessionBase, shareable across sessions)
 ///  - the base adjacency with self-loops (Ã = A + I) and its raw form;
 ///  - exact per-row degree accumulators (the double-precision partial sums
 ///    `RowSums` would produce), so a batch's contribution can be appended
@@ -35,10 +38,15 @@ namespace mcond {
 ///    degree does not change;
 ///  - CSC patch indexes of the base block, mapping each column to the
 ///    (row, value-index) pairs that reference it, so a degree change in
-///    column c touches only the entries that actually contain c;
+///    column c touches only the entries that actually contain c.
+/// Owned per session (the replica workspace)
 ///  - preallocated workspaces: composed CSR buffers, the stacked feature
 ///    matrix, output logits, SpGEMM scratch for the aM conversion, and a
 ///    TensorArena that backs every intermediate tensor of the forward pass.
+///
+/// The split matters for concurrent serving: a ReplicaPool builds one
+/// SessionBase and K sessions over it, so the immutable caches are paid
+/// once and only the workspaces scale with K (ReplicaPool::memory_bytes()).
 ///
 /// Per request (`Serve`)
 ///  - links are converted through the mapping (aM) into preallocated
@@ -72,6 +80,11 @@ namespace mcond {
 /// Lifetime: the session stores references — the base graph (or condensed
 /// artifact) and the model must outlive it. Not thread-safe; one session
 /// serves one request at a time (kernels inside still use the global pool).
+/// Distinct sessions over one shared SessionBase may serve concurrently
+/// from different threads: the base is immutable and GnnModel::Predict is
+/// read-only for every bundled architecture (ConcurrentServer relies on
+/// exactly this, with each worker's kernels forced inline via
+/// ScopedInlineParallelRegion so replicas don't contend for the pool).
 ///
 /// Observability: `mcond.serve.session_requests` / `_fallbacks` counters;
 /// `mcond.serve.session_convert_us` / `_compose_us` / `_forward_us` /
@@ -85,6 +98,9 @@ class ServingSession {
   /// through `condensed.mapping` on every request. The mapping must be
   /// non-empty.
   ServingSession(const CondensedGraph& condensed, GnnModel& model);
+  /// Replica over a prebuilt shared base (see SessionBase / ReplicaPool):
+  /// only the per-session workspaces are allocated.
+  ServingSession(std::shared_ptr<const SessionBase> base, GnnModel& model);
 
   ServingSession(const ServingSession&) = delete;
   ServingSession& operator=(const ServingSession&) = delete;
@@ -112,6 +128,20 @@ class ServingSession {
 
   int64_t num_base_nodes() const { return n_base_; }
 
+  /// The immutable build-time state this session serves from (shared with
+  /// sibling replicas when built through a ReplicaPool).
+  const std::shared_ptr<const SessionBase>& session_base() const {
+    return base_;
+  }
+
+  /// Bytes of this session's own scratch: conversion/patch buffers,
+  /// composed CSR storage (wherever it currently lives — the reclaimable
+  /// vectors or the last request's operators), stacked features, output
+  /// logits, and arena pages. Excludes the shared SessionBase
+  /// (SessionBase::memory_bytes()); a standalone session's footprint is the
+  /// sum of both.
+  int64_t workspace_bytes() const;
+
  private:
   struct LinksView {
     const int64_t* row_ptr = nullptr;
@@ -119,16 +149,7 @@ class ServingSession {
     const float* values = nullptr;
     int64_t nnz = 0;
   };
-  /// CSC-style index over a base-block CSR: for each column, the rows that
-  /// contain it and the value-index of that entry in the CSR arrays.
-  struct CscIndex {
-    std::vector<int64_t> col_ptr;
-    std::vector<int32_t> row;
-    std::vector<int64_t> val_idx;
-  };
 
-  void BuildBaseCaches();
-  static void BuildCsc(const CsrMatrix& m, CscIndex* out);
   void EnsureBatchShape(int64_t n);
   void BumpEpoch();
   /// aM SpGEMM into conv_* buffers; bit-identical to CsrMatrix::Multiply.
@@ -146,26 +167,12 @@ class ServingSession {
                        int64_t n);
   void StackBatchFeatures(const Tensor& batch_features);
 
-  const Graph& base_;
-  const CsrMatrix* mapping_;  // null for original-graph sessions
+  // ---- build-time caches, immutable and shareable across replicas ----
+  std::shared_ptr<const SessionBase> base_;
   GnnModel& model_;
 
-  int64_t n_base_ = 0;   // N (or N')
-  int64_t feat_dim_ = 0;
-
-  // ---- build-time caches over the base block ----
-  CsrMatrix base_loops_;  // Ã = A + I (structure + raw values)
-  CsrMatrix sym_base_;    // SymNormalize(A, /*add_self_loops=*/false)
-  // Exact double partial sums RowSums would produce for Ã and A rows.
-  std::vector<double> deg_loop_acc_;
-  std::vector<double> deg_noloop_acc_;
-  // Base-only normalizers derived from the partials.
-  std::vector<float> dinv_gcn_;    // 1/sqrt(deg(Ã))
-  std::vector<float> inv_row_;     // 1/deg(Ã)
-  std::vector<float> dinv_noloop_; // 1/sqrt(deg(A))
-  CscIndex csc_loops_;
-  CscIndex csc_noloop_;
-  bool fallback_only_ = false;  // base itself hits the RowNormalize corner
+  int64_t n_base_ = 0;   // N (or N'), mirrors base_->n_base
+  int64_t feat_dim_ = 0;  // mirrors base_->feat_dim
 
   // ---- per-request scratch (persistent, capacity-stable) ----
   uint32_t epoch_ = 0;

@@ -1,0 +1,126 @@
+#include "serve/session_base.h"
+
+#include <cmath>
+
+#include "core/logging.h"
+#include "obs/trace.h"
+
+namespace mcond {
+
+namespace {
+
+template <typename T>
+int64_t VecBytes(const std::vector<T>& v) {
+  return static_cast<int64_t>(v.capacity() * sizeof(T));
+}
+
+int64_t CsrBytes(const CsrMatrix& m) {
+  return VecBytes(m.row_ptr()) + VecBytes(m.col_idx()) + VecBytes(m.values());
+}
+
+}  // namespace
+
+std::shared_ptr<const SessionBase> SessionBase::Build(const Graph& base) {
+  std::shared_ptr<SessionBase> sb(new SessionBase(base));
+  sb->BuildCaches();
+  return sb;
+}
+
+std::shared_ptr<const SessionBase> SessionBase::Build(
+    const CondensedGraph& condensed) {
+  std::shared_ptr<SessionBase> sb(new SessionBase(condensed.graph));
+  sb->mapping = &condensed.mapping;
+  MCOND_CHECK_GT(sb->mapping->Nnz(), 0)
+      << "condensed artifact has no mapping; cannot build a serving session";
+  MCOND_CHECK_EQ(sb->mapping->cols(), condensed.graph.NumNodes());
+  sb->BuildCaches();
+  return sb;
+}
+
+void SessionBase::BuildCaches() {
+  MCOND_TRACE_SPAN("serve.session.build");
+  const CsrMatrix& raw = base_graph.adjacency();
+  n_base = raw.rows();
+  feat_dim = base_graph.FeatureDim();
+
+  base_loops = AddSelfLoops(raw);
+  sym_base = SymNormalize(raw, /*add_self_loops=*/false);
+  // The Graph's cached normalized forms must share structure with what we
+  // rebuilt — they come from the same deterministic AddSelfLoops.
+  MCOND_CHECK_EQ(base_graph.normalized_adjacency().Nnz(), base_loops.Nnz());
+  if (base_graph.row_normalized_adjacency().Nnz() != base_loops.Nnz()) {
+    // RowNormalize dropped entries at graph construction (a degree-0 base
+    // row with stored entries). Incremental patching cannot reproduce a
+    // structural drop, so sessions on this base always take the fallback.
+    fallback_only = true;
+  }
+
+  const size_t n = static_cast<size_t>(n_base);
+  deg_loop_acc.resize(n);
+  deg_noloop_acc.resize(n);
+  dinv_gcn.resize(n);
+  inv_row.resize(n);
+  dinv_noloop.resize(n);
+  for (int64_t r = 0; r < n_base; ++r) {
+    double acc = 0.0;
+    for (int64_t k = base_loops.row_ptr()[static_cast<size_t>(r)];
+         k < base_loops.row_ptr()[static_cast<size_t>(r) + 1]; ++k) {
+      acc += base_loops.values()[static_cast<size_t>(k)];
+    }
+    deg_loop_acc[static_cast<size_t>(r)] = acc;
+    const float deg = static_cast<float>(acc);
+    dinv_gcn[static_cast<size_t>(r)] =
+        deg > 0.0f ? 1.0f / std::sqrt(deg) : 0.0f;
+    inv_row[static_cast<size_t>(r)] = deg != 0.0f ? 1.0f / deg : 0.0f;
+    if (deg == 0.0f && base_loops.RowNnz(r) > 0) fallback_only = true;
+
+    double acc_nl = 0.0;
+    for (int64_t k = raw.row_ptr()[static_cast<size_t>(r)];
+         k < raw.row_ptr()[static_cast<size_t>(r) + 1]; ++k) {
+      acc_nl += raw.values()[static_cast<size_t>(k)];
+    }
+    deg_noloop_acc[static_cast<size_t>(r)] = acc_nl;
+    const float deg_nl = static_cast<float>(acc_nl);
+    dinv_noloop[static_cast<size_t>(r)] =
+        deg_nl > 0.0f ? 1.0f / std::sqrt(deg_nl) : 0.0f;
+  }
+
+  BuildCsc(base_loops, &csc_loops);
+  BuildCsc(raw, &csc_noloop);
+}
+
+void SessionBase::BuildCsc(const CsrMatrix& m, CscIndex* out) {
+  const int64_t cols = m.cols();
+  const int64_t nnz = m.Nnz();
+  out->col_ptr.assign(static_cast<size_t>(cols) + 1, 0);
+  for (const int32_t c : m.col_idx()) {
+    ++out->col_ptr[static_cast<size_t>(c) + 1];
+  }
+  for (size_t c = 1; c < out->col_ptr.size(); ++c) {
+    out->col_ptr[c] += out->col_ptr[c - 1];
+  }
+  out->row.resize(static_cast<size_t>(nnz));
+  out->val_idx.resize(static_cast<size_t>(nnz));
+  std::vector<int64_t> cursor(out->col_ptr.begin(), out->col_ptr.end() - 1);
+  for (int64_t r = 0; r < m.rows(); ++r) {
+    for (int64_t k = m.row_ptr()[static_cast<size_t>(r)];
+         k < m.row_ptr()[static_cast<size_t>(r) + 1]; ++k) {
+      const int32_t c = m.col_idx()[static_cast<size_t>(k)];
+      const int64_t pos = cursor[static_cast<size_t>(c)]++;
+      out->row[static_cast<size_t>(pos)] = static_cast<int32_t>(r);
+      out->val_idx[static_cast<size_t>(pos)] = k;
+    }
+  }
+}
+
+int64_t SessionBase::memory_bytes() const {
+  const auto csc_bytes = [](const CscIndex& c) {
+    return VecBytes(c.col_ptr) + VecBytes(c.row) + VecBytes(c.val_idx);
+  };
+  return CsrBytes(base_loops) + CsrBytes(sym_base) + VecBytes(deg_loop_acc) +
+         VecBytes(deg_noloop_acc) + VecBytes(dinv_gcn) + VecBytes(inv_row) +
+         VecBytes(dinv_noloop) + csc_bytes(csc_loops) +
+         csc_bytes(csc_noloop);
+}
+
+}  // namespace mcond

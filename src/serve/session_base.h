@@ -1,0 +1,77 @@
+#ifndef MCOND_SERVE_SESSION_BASE_H_
+#define MCOND_SERVE_SESSION_BASE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "condense/condensed.h"
+#include "core/csr_matrix.h"
+#include "graph/graph.h"
+
+namespace mcond {
+
+/// The immutable build-time state of a serving deployment: everything a
+/// ServingSession derives from the base graph (synthetic A' of Eq. 11, or
+/// the original A of Eq. 3) that no request ever mutates.
+///
+/// Splitting this out of ServingSession lets a ReplicaPool of K sessions
+/// over the same deployment share one copy — the base adjacency forms, the
+/// exact degree accumulators, and the CSC patch indexes are paid once, and
+/// only the per-replica workspaces/arenas cost K times. Built once via
+/// Build(); exposed as shared_ptr<const SessionBase>, so concurrent readers
+/// need no synchronization.
+///
+/// Lifetime: the SessionBase stores references — the base graph (or the
+/// condensed artifact whose graph/mapping it points into) must outlive it
+/// and every session built on it.
+struct SessionBase {
+  /// CSC-style index over a base-block CSR: for each column, the rows that
+  /// contain it and the value-index of that entry in the CSR arrays.
+  struct CscIndex {
+    std::vector<int64_t> col_ptr;
+    std::vector<int32_t> row;
+    std::vector<int64_t> val_idx;
+  };
+
+  /// Base over the original graph: request links attach directly.
+  static std::shared_ptr<const SessionBase> Build(const Graph& base);
+  /// Base over a condensed artifact: request links are converted through
+  /// `condensed.mapping` (which must be non-empty) on every request.
+  static std::shared_ptr<const SessionBase> Build(
+      const CondensedGraph& condensed);
+
+  /// Bytes of the caches this object owns (CSR forms, accumulators,
+  /// normalizers, CSC indexes). The borrowed base graph / mapping are not
+  /// counted — they exist independently of serving.
+  int64_t memory_bytes() const;
+
+  const Graph& base_graph;
+  const CsrMatrix* mapping = nullptr;  // null for original-graph bases
+  int64_t n_base = 0;   // N (or N')
+  int64_t feat_dim = 0;
+
+  CsrMatrix base_loops;  // Ã = A + I (structure + raw values)
+  CsrMatrix sym_base;    // SymNormalize(A, /*add_self_loops=*/false)
+  // Exact double partial sums RowSums would produce for Ã and A rows.
+  std::vector<double> deg_loop_acc;
+  std::vector<double> deg_noloop_acc;
+  // Base-only normalizers derived from the partials.
+  std::vector<float> dinv_gcn;     // 1/sqrt(deg(Ã))
+  std::vector<float> inv_row;      // 1/deg(Ã)
+  std::vector<float> dinv_noloop;  // 1/sqrt(deg(A))
+  CscIndex csc_loops;
+  CscIndex csc_noloop;
+  // The base itself hits the RowNormalize entry-dropping corner; every
+  // session on this base must take the exact full-recompose fallback.
+  bool fallback_only = false;
+
+ private:
+  explicit SessionBase(const Graph& g) : base_graph(g) {}
+  void BuildCaches();
+  static void BuildCsc(const CsrMatrix& m, CscIndex* out);
+};
+
+}  // namespace mcond
+
+#endif  // MCOND_SERVE_SESSION_BASE_H_

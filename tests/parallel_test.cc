@@ -5,10 +5,12 @@
 // never align with the cache-block tile sizes).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <limits>
+#include <thread>
 #include <vector>
 
 #include "core/csr_matrix.h"
@@ -273,6 +275,52 @@ TEST_F(ParallelTest, DefaultNumThreadsHonorsEnvVar) {
   EXPECT_GE(ThreadPool::DefaultNumThreads(), 1);
   ::unsetenv("MCOND_NUM_THREADS");
   EXPECT_GE(ThreadPool::DefaultNumThreads(), 1);
+}
+
+TEST_F(ParallelTest, ScopedInlineParallelRegionForcesInlineExecution) {
+  ThreadPool::Global().SetNumThreads(4);
+  ScopedInlineParallelRegion inline_region;
+  // Inline execution means the issuing thread runs every chunk itself, in
+  // ascending range order — observable as strictly increasing begins with
+  // no interleaving.
+  std::vector<int64_t> begins;
+  ParallelFor(0, 32, /*grain=*/1, [&](int64_t b, int64_t e) {
+    begins.push_back(b);
+    (void)e;
+  });
+  ASSERT_EQ(begins.size(), 1u);  // one inline call covering the whole range
+  EXPECT_EQ(begins[0], 0);
+}
+
+TEST_F(ParallelTest, SetNumThreadsSafeWhileKernelsRun) {
+  // The documented contract: SetNumThreads may be called from any thread
+  // while other threads dispatch pooled kernels; it waits out the in-flight
+  // job and resizes between dispatches. Results must stay correct (each
+  // index covered exactly once) throughout the resize storm.
+  ThreadPool::Global().SetNumThreads(4);
+  std::atomic<bool> stop{false};
+  std::thread resizer([&] {
+    int width = 1;
+    while (!stop.load(std::memory_order_relaxed)) {
+      ThreadPool::Global().SetNumThreads(width);
+      width = width % 4 + 1;
+    }
+  });
+  for (int iter = 0; iter < 50; ++iter) {
+    std::vector<std::atomic<int>> hits(256);
+    for (auto& h : hits) h.store(0, std::memory_order_relaxed);
+    ParallelFor(0, 256, /*grain=*/3, [&](int64_t b, int64_t e) {
+      for (int64_t i = b; i < e; ++i) {
+        hits[static_cast<size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    for (int64_t i = 0; i < 256; ++i) {
+      ASSERT_EQ(hits[static_cast<size_t>(i)].load(), 1)
+          << "index " << i << " on iteration " << iter;
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  resizer.join();
 }
 
 TEST_F(ParallelTest, TensorAllocators) {

@@ -64,6 +64,32 @@ if [[ -n "$SERVING" ]]; then
     esac
   done <<< "$s_narrow"
 
-  echo "OK: serving checksums identical at 1 and $WIDE threads, session == per-request"
+  # Concurrent check: the order-invariant digest sums from the replica-pool
+  # server must equal the expected (clients x solo) sum at K=1 AND at the
+  # oversubscribed, micro-batched K=8 — concurrency and coalescing change
+  # no bits.
+  while read -r name digest; do
+    case "$name" in
+      logits_concurrent_expected*)
+        tag="${name#logits_concurrent_expected}"
+        for k in k1 k8; do
+          got=$(echo "$s_narrow" | awk -v n="logits_concurrent_${k}$tag" \
+                '$1 == n {print $2}')
+          if [[ -z "$got" ]]; then
+            echo "DETERMINISM FAILURE: no logits_concurrent_${k}$tag line to pair with $name" >&2
+            exit 1
+          fi
+          if [[ "$got" != "$digest" ]]; then
+            echo "DETERMINISM FAILURE: concurrent ($k) logits differ from solo for '$tag'" >&2
+            echo "  expected   $digest" >&2
+            echo "  concurrent $got" >&2
+            exit 1
+          fi
+        done
+        ;;
+    esac
+  done <<< "$s_narrow"
+
+  echo "OK: serving checksums identical at 1 and $WIDE threads, session == per-request, concurrent == solo at K=1 and K=8"
   echo "$s_narrow"
 fi

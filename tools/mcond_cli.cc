@@ -8,10 +8,16 @@
 //       Print artifact statistics.
 //   mcond_cli serve --dataset reddit-sim --artifact S.bin [--node-batch]
 //             [--serve_mode per_request|session]
+//             [--serve_concurrency K] [--serve_queue N]
 //       Train SGC on the artifact and serve the dataset's test batch,
 //       reporting accuracy / latency / memory vs the original graph.
 //       --serve_mode session routes both paths through the persistent
 //       ServingSession (bit-identical results, lower steady-state latency).
+//       --serve_concurrency K additionally streams the test split through
+//       a ConcurrentServer of K session replicas behind a bounded request
+//       queue of --serve_queue N slots (default 32), verifying the
+//       concurrent logits bit-match a solo session and reporting the
+//       aggregate throughput and pool memory (docs/performance.md).
 //
 // Observability flags, accepted by every command (docs/observability.md):
 //   --log_level debug|info|warn|error|off   (default: MCOND_LOG_LEVEL)
@@ -35,12 +41,15 @@
 #include "condense/mcond.h"
 #include "core/parallel.h"
 #include "data/datasets.h"
+#include "eval/batching.h"
 #include "eval/inference.h"
 #include "nn/trainer.h"
 #include "obs/export.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "serve/concurrent_server.h"
+#include "serve/serving_session.h"
 
 namespace mcond {
 namespace {
@@ -214,6 +223,65 @@ int CmdServe(const Args& args) {
             << static_cast<double>(on_orig.memory_bytes) /
                    on_syn.memory_bytes
             << "x\n";
+
+  const int concurrency = std::stoi(FlagOr(args, "serve_concurrency", "0"));
+  if (concurrency > 0) {
+    const int queue_slots = std::stoi(FlagOr(args, "serve_queue", "32"));
+    const std::vector<HeldOutBatch> batches =
+        SplitIntoBatches(data.test, 32);
+    // Solo reference for the exactness check.
+    std::vector<Tensor> expect;
+    {
+      ServingSession solo(cg, *model);
+      Rng solo_rng(seed + 2);
+      for (const HeldOutBatch& batch : batches) {
+        expect.push_back(solo.Serve(batch, graph_batch, solo_rng));
+      }
+    }
+    ConcurrentServer::Config cfg;
+    cfg.num_replicas = concurrency;
+    cfg.queue_capacity = queue_slots;
+    ConcurrentServer server(SessionBase::Build(cg), *model, cfg);
+    std::vector<Tensor> outs(batches.size());
+    std::vector<ServeTicket> tickets;
+    obs::TraceSpan wall("cli.serve_concurrent", /*always_time=*/true);
+    for (size_t i = 0; i < batches.size(); ++i) {
+      // Admission blocks on a full queue (the default backpressure), so a
+      // burst larger than --serve_queue is absorbed without rejects.
+      StatusOr<ServeTicket> t = server.Submit(batches[i], graph_batch,
+                                              &outs[i]);
+      if (!t.ok()) {
+        std::cerr << t.status().ToString() << "\n";
+        return 1;
+      }
+      tickets.push_back(t.value());
+    }
+    for (ServeTicket& t : tickets) {
+      const Status st = t.Wait();
+      if (!st.ok()) {
+        std::cerr << st.ToString() << "\n";
+        return 1;
+      }
+    }
+    const double seconds = wall.ElapsedSeconds();
+    bool identical = true;
+    for (size_t i = 0; i < outs.size(); ++i) {
+      identical = identical && outs[i].SameShape(expect[i]) &&
+                  std::memcmp(outs[i].data(), expect[i].data(),
+                              static_cast<size_t>(outs[i].size()) *
+                                  sizeof(float)) == 0;
+    }
+    server.Shutdown();
+    std::cout << "  concurrent: " << concurrency << " replicas, queue "
+              << queue_slots << ": " << batches.size() << " requests in "
+              << seconds * 1e3 << " ms ("
+              << (seconds > 0.0 ? batches.size() / seconds : 0.0)
+              << " req/s aggregate), pool memory "
+              << server.pool().memory_bytes() / 1024
+              << " KB, logits bit-identical to solo session: "
+              << (identical ? "yes" : "NO") << "\n";
+    if (!identical) return 1;
+  }
   return 0;
 }
 
