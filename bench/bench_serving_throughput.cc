@@ -32,6 +32,12 @@
 //              [--queue N] [--micro_batch B], defaults 8/4/32/4).
 //   --json     BENCH_kernels.json-style JSON on stdout (BENCH_serving.json
 //              is a committed snapshot of this).
+//   --reject   load-shedding: the server rejects on a full queue instead
+//              of blocking; clients drop rejects. Rows report the
+//              rejected-request count next to req/s.
+//   --timeline F [--timeline_interval_ms N]   run a MetricsExporter during
+//              the concurrent row: JSONL time series to F plus a printed
+//              per-interval req/s + p50/p99 + rejects/s timeline.
 //   --smoke    tiny-sim, one pass, prints bit-level logit checksums for
 //              both paths and both batch modes, plus order-invariant
 //              concurrent checksum sums at K=1 and K=8 (micro-batched).
@@ -56,6 +62,7 @@
 #include "eval/batching.h"
 #include "eval/inference.h"
 #include "nn/sgc.h"
+#include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "serve/concurrent_server.h"
@@ -82,6 +89,10 @@ struct PathStats {
   uint64_t p50_us = 0;
   uint64_t p99_us = 0;
   int64_t requests = 0;
+  /// Requests shed by the server's backpressure policy during this run
+  /// (delta of mcond.server.rejected). Always 0 for the solo paths and for
+  /// blocking concurrent runs; nonzero only with --reject.
+  int64_t rejected = 0;
   uint64_t checksum = kFnvSeed;
 };
 
@@ -152,6 +163,14 @@ struct ConcurrentOptions {
   int server_threads = 4;
   int queue_capacity = 32;
   int micro_batch = 4;
+  /// Load-shedding mode: the server rejects on a full queue instead of
+  /// blocking the submitter; clients drop rejected requests and move on.
+  bool reject = false;
+  /// When nonempty, a MetricsExporter runs for the duration of the
+  /// concurrent run: one JSONL line per interval plus a printed per-second
+  /// req/s + interval p50/p99 timeline.
+  std::string timeline_path;
+  int timeline_interval_ms = 1000;
 };
 
 /// Closed-loop concurrent run: `clients` threads each stream `passes`
@@ -170,8 +189,39 @@ PathStats RunConcurrent(GnnModel& model, const Graph& base,
   cfg.num_replicas = opt.server_threads;
   cfg.queue_capacity = opt.queue_capacity;
   cfg.micro_batch = opt.micro_batch;
+  cfg.block_when_full = !opt.reject;
   ConcurrentServer server(std::move(session_base), model, cfg);
 
+  obs::MetricsExporter exporter([&] {
+    obs::MetricsExporterOptions options;
+    options.jsonl_path = opt.timeline_path;
+    options.interval_ms = opt.timeline_interval_ms;
+    options.tick_sink = [](const obs::MetricsTick& tick) {
+      const obs::HistogramSnapshot* lat =
+          tick.HistogramDelta("mcond.server.latency_us");
+      std::printf("  t=%7.2fs  %9.2f req/s   interval p50 %6llu us   "
+                  "p99 %6llu us   rejected %.0f/s\n",
+                  static_cast<double>(tick.ts_us) * 1e-6,
+                  tick.CounterRate("mcond.server.requests"),
+                  static_cast<unsigned long long>(
+                      lat != nullptr
+                          ? obs::HistogramApproxQuantile(*lat, 0.5)
+                          : 0),
+                  static_cast<unsigned long long>(
+                      lat != nullptr
+                          ? obs::HistogramApproxQuantile(*lat, 0.99)
+                          : 0),
+                  tick.CounterRate("mcond.server.rejected"));
+    };
+    return options;
+  }());
+  if (!opt.timeline_path.empty()) {
+    const Status st = exporter.Start();
+    MCOND_CHECK(st.ok()) << st.ToString();
+  }
+
+  const int64_t rejected_before =
+      obs::GetCounter("mcond.server.rejected").Value();
   std::atomic<uint64_t> digest_sum{0};
   std::atomic<int64_t> completed{0};
   obs::TraceSpan wall("bench.concurrent", /*always_time=*/true);
@@ -185,6 +235,7 @@ PathStats RunConcurrent(GnnModel& model, const Graph& base,
       for (int64_t pass = 0; pass < passes; ++pass) {
         for (const HeldOutBatch& batch : batches) {
           const Status st = server.ServeSync(batch, graph_batch, &out);
+          if (!st.ok() && opt.reject) continue;  // load shed, move on
           MCOND_CHECK(st.ok()) << st.ToString();
           local_sum += BitChecksumFold(kFnvSeed, out);
           ++local_done;
@@ -197,10 +248,13 @@ PathStats RunConcurrent(GnnModel& model, const Graph& base,
   for (std::thread& t : client_threads) t.join();
   const double seconds = wall.ElapsedSeconds();
   server.Shutdown();
+  exporter.Stop();
 
   PathStats stats;
   stats.requests = completed.load(std::memory_order_relaxed);
   stats.requests_per_sec = seconds > 0.0 ? stats.requests / seconds : 0.0;
+  stats.rejected =
+      obs::GetCounter("mcond.server.rejected").Value() - rejected_before;
   const obs::Histogram& hist = obs::GetHistogram("mcond.server.latency_us");
   stats.p50_us = obs::HistogramApproxQuantile(hist, 0.5);
   stats.p99_us = obs::HistogramApproxQuantile(hist, 0.99);
@@ -362,9 +416,11 @@ int RunBench(bool json, const ConcurrentOptions& opt) {
     for (size_t i = 0; i < rows.size(); ++i) {
       const Row& r = rows[i];
       std::printf("    {\"name\": \"%s\", \"requests\": %lld, "
+                  "\"rejected\": %lld, "
                   "\"requests_per_sec\": %.2f, \"p50_us\": %llu, "
                   "\"p99_us\": %llu}%s\n",
                   r.name.c_str(), static_cast<long long>(r.stats.requests),
+                  static_cast<long long>(r.stats.rejected),
                   r.stats.requests_per_sec,
                   static_cast<unsigned long long>(r.stats.p50_us),
                   static_cast<unsigned long long>(r.stats.p99_us),
@@ -378,10 +434,15 @@ int RunBench(bool json, const ConcurrentOptions& opt) {
                 static_cast<long long>(passes),
                 ThreadPool::Global().NumThreads());
     for (const Row& r : rows) {
-      std::printf("  %-24s %9.2f req/s   p50 %6llu us   p99 %6llu us\n",
+      std::printf("  %-24s %9.2f req/s   p50 %6llu us   p99 %6llu us",
                   r.name.c_str(), r.stats.requests_per_sec,
                   static_cast<unsigned long long>(r.stats.p50_us),
                   static_cast<unsigned long long>(r.stats.p99_us));
+      if (r.stats.rejected > 0) {
+        std::printf("   rejected %lld",
+                    static_cast<long long>(r.stats.rejected));
+      }
+      std::printf("\n");
     }
     const double cond_speedup =
         rows[1].stats.requests_per_sec / rows[0].stats.requests_per_sec;
@@ -415,10 +476,16 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) return mcond::RunSmoke();
     if (std::strcmp(argv[i], "--json") == 0) json = true;
+    if (std::strcmp(argv[i], "--reject") == 0) opt.reject = true;
+    if (std::strcmp(argv[i], "--timeline") == 0 && i + 1 < argc) {
+      opt.timeline_path = argv[++i];
+      continue;
+    }
     if (int_flag(i, "--clients", &opt.clients) ||
         int_flag(i, "--server_threads", &opt.server_threads) ||
         int_flag(i, "--queue", &opt.queue_capacity) ||
-        int_flag(i, "--micro_batch", &opt.micro_batch)) {
+        int_flag(i, "--micro_batch", &opt.micro_batch) ||
+        int_flag(i, "--timeline_interval_ms", &opt.timeline_interval_ms)) {
       ++i;
     }
   }

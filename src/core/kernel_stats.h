@@ -23,6 +23,7 @@ class KernelScope {
         hist_name_(hist_name),
         record_(work >= kKernelStatsMinWork) {}
   ~KernelScope() {
+    // metric-name: mcond.kernel.<op>_us
     if (record_) obs::GetHistogram(hist_name_).Record(span_.ElapsedMicros());
   }
   KernelScope(const KernelScope&) = delete;

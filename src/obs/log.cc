@@ -89,9 +89,12 @@ void ReinitLoggingFromEnv() {
   LogLevel level = LogLevel::kInfo;
   if (level_env != nullptr) ParseLogLevel(level_env, &level);
   g_min_level.store(static_cast<int>(level), std::memory_order_relaxed);
+  // Verbosity below the 0 default would also suppress explicitly-enabled
+  // MCOND_VLOG(0) statements; clamp so a stray "-1" keeps the default.
   const char* vlog_env = std::getenv("MCOND_VLOG");
-  g_verbosity.store(vlog_env != nullptr ? std::atoi(vlog_env) : 0,
-                    std::memory_order_relaxed);
+  int verbosity = vlog_env != nullptr ? std::atoi(vlog_env) : 0;
+  if (verbosity < 0) verbosity = 0;
+  g_verbosity.store(verbosity, std::memory_order_relaxed);
 }
 
 const char* LogLevelName(LogLevel level) {

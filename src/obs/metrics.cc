@@ -69,8 +69,26 @@ uint64_t Histogram::Min() const {
   return m == ~uint64_t{0} ? 0 : m;
 }
 
-uint64_t HistogramApproxQuantile(const Histogram& h, double q) {
-  const int64_t count = h.Count();
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.count = Count();
+  snap.sum = Sum();
+  snap.min = Min();
+  snap.max = Max();
+  for (int i = 0; i < kNumBuckets; ++i) {
+    snap.buckets[static_cast<size_t>(i)] = BucketCount(i);
+  }
+  return snap;
+}
+
+namespace {
+
+/// Shared quantile core: finds the bucket holding the ⌈q·count⌉-th sample
+/// and interpolates linearly inside it, assuming samples spread uniformly
+/// across the bucket's [lower, upper) range. Clamped into [min, max].
+uint64_t ApproxQuantileFromBuckets(
+    const std::array<int64_t, Histogram::kNumBuckets>& buckets,
+    int64_t count, uint64_t min, uint64_t max, double q) {
   if (count <= 0) return 0;
   if (q < 0.0) q = 0.0;
   if (q > 1.0) q = 1.0;
@@ -78,15 +96,49 @@ uint64_t HistogramApproxQuantile(const Histogram& h, double q) {
   if (static_cast<double>(target) < q * static_cast<double>(count)) ++target;
   if (target < 1) target = 1;
   int64_t seen = 0;
-  uint64_t bound = h.Max();
+  uint64_t estimate = max;
   for (int i = 0; i < Histogram::kNumBuckets; ++i) {
-    seen += h.BucketCount(i);
-    if (seen >= target) {
-      bound = Histogram::BucketUpperBound(i);
+    const int64_t in_bucket = buckets[static_cast<size_t>(i)];
+    if (in_bucket <= 0) continue;
+    if (seen + in_bucket >= target) {
+      const double lower =
+          static_cast<double>(Histogram::BucketLowerBound(i));
+      const double upper =
+          static_cast<double>(Histogram::BucketUpperBound(i));
+      const double frac = static_cast<double>(target - seen) /
+                          static_cast<double>(in_bucket);
+      estimate = static_cast<uint64_t>(lower + frac * (upper - lower));
       break;
     }
+    seen += in_bucket;
   }
-  return std::min(std::max(bound, h.Min()), h.Max());
+  return std::min(std::max(estimate, min), max);
+}
+
+}  // namespace
+
+uint64_t HistogramApproxQuantile(const Histogram& h, double q) {
+  return ApproxQuantileFromBuckets(h.Snapshot().buckets, h.Count(), h.Min(),
+                                   h.Max(), q);
+}
+
+uint64_t HistogramApproxQuantile(const HistogramSnapshot& h, double q) {
+  return ApproxQuantileFromBuckets(h.buckets, h.count, h.min, h.max, q);
+}
+
+HistogramSnapshot HistogramSnapshotDelta(const HistogramSnapshot& cur,
+                                         const HistogramSnapshot& prev) {
+  HistogramSnapshot delta;
+  delta.count = cur.count - prev.count;
+  delta.sum = cur.sum - prev.sum;
+  // Interval extrema are unknowable from cumulative state; the cumulative
+  // bounds are the tightest safe clamp for interval quantiles.
+  delta.min = cur.min;
+  delta.max = cur.max;
+  for (size_t i = 0; i < delta.buckets.size(); ++i) {
+    delta.buckets[i] = cur.buckets[i] - prev.buckets[i];
+  }
+  return delta;
 }
 
 void Series::Append(double v) {
@@ -181,6 +233,94 @@ std::string MetricsRegistry::ToJson() const {
   return out.str();
 }
 
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->Value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->Value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.emplace_back(name, h->Snapshot());
+  }
+  snap.series_counts.reserve(series_.size());
+  for (const auto& [name, s] : series_) {
+    snap.series_counts.emplace_back(name, s->Count());
+  }
+  return snap;
+}
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; the mcond dot convention
+/// maps onto it by replacing every other character with '_'.
+std::string PrometheusName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+void AppendPrometheusDouble(std::ostringstream& out, double v) {
+  if (std::isnan(v)) {
+    out << "NaN";
+  } else if (std::isinf(v)) {
+    out << (v > 0 ? "+Inf" : "-Inf");
+  } else {
+    out.precision(std::numeric_limits<double>::max_digits10);
+    out << v;
+  }
+}
+
+}  // namespace
+
+std::string MetricsRegistry::ToPrometheus() const {
+  const MetricsSnapshot snap = Snapshot();
+  std::ostringstream out;
+  for (const auto& [name, value] : snap.counters) {
+    const std::string pname = PrometheusName(name);
+    out << "# TYPE " << pname << " counter\n"
+        << pname << " " << value << "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string pname = PrometheusName(name);
+    out << "# TYPE " << pname << " gauge\n" << pname << " ";
+    AppendPrometheusDouble(out, value);
+    out << "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string pname = PrometheusName(name);
+    out << "# TYPE " << pname << " histogram\n";
+    int64_t cumulative = 0;
+    for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+      const int64_t n = h.buckets[static_cast<size_t>(i)];
+      if (n == 0) continue;  // sparse: only boundaries that add samples
+      cumulative += n;
+      out << pname << "_bucket{le=\"" << Histogram::BucketUpperBound(i)
+          << "\"} " << cumulative << "\n";
+    }
+    out << pname << "_bucket{le=\"+Inf\"} " << h.count << "\n"
+        << pname << "_sum " << h.sum << "\n"
+        << pname << "_count " << h.count << "\n";
+  }
+  for (const auto& [name, count] : snap.series_counts) {
+    // Bounded series have no exposition shape; export the append count so
+    // scrapers can still rate() the activity.
+    const std::string pname = PrometheusName(name) + "_total";
+    out << "# TYPE " << pname << " counter\n"
+        << pname << " " << count << "\n";
+  }
+  return out.str();
+}
+
 void MetricsRegistry::ResetForTesting() {
   std::lock_guard<std::mutex> lock(mu_);
   counters_.clear();
@@ -202,6 +342,9 @@ Series& GetSeries(const std::string& name) {
   return MetricsRegistry::Global().GetSeries(name);
 }
 std::string MetricsToJson() { return MetricsRegistry::Global().ToJson(); }
+std::string MetricsToPrometheus() {
+  return MetricsRegistry::Global().ToPrometheus();
+}
 
 }  // namespace obs
 }  // namespace mcond

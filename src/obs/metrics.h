@@ -50,6 +50,8 @@ class Gauge {
   std::atomic<double> value_{0.0};
 };
 
+struct HistogramSnapshot;
+
 /// Fixed-bucket histogram for non-negative integer samples — typically
 /// latencies in µs. Bucket 0 counts [0, 2); bucket i counts [2^i, 2^(i+1))
 /// for i >= 1; the last bucket absorbs everything above. All updates are
@@ -64,6 +66,13 @@ class Histogram {
   static int BucketIndex(uint64_t value);
   /// Exclusive upper bound of bucket i (2^(i+1)).
   static uint64_t BucketUpperBound(int i) { return uint64_t{1} << (i + 1); }
+  /// Inclusive lower bound of bucket i (0 for bucket 0, else 2^i).
+  static uint64_t BucketLowerBound(int i) {
+    return i == 0 ? 0 : uint64_t{1} << i;
+  }
+
+  /// Point-in-time copy of the whole histogram.
+  HistogramSnapshot Snapshot() const;
 
   int64_t Count() const { return count_.load(std::memory_order_relaxed); }
   int64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
@@ -99,6 +108,28 @@ class Series {
   int64_t total_ = 0;
 };
 
+/// Point-in-time copy of one histogram's state. Exact under a quiesced
+/// process; under concurrent Record the fields may be mutually slightly
+/// stale (each is individually atomic). Snapshot deltas are how the
+/// MetricsExporter computes per-interval latency quantiles.
+struct HistogramSnapshot {
+  int64_t count = 0;
+  int64_t sum = 0;
+  uint64_t min = 0;  // 0 when empty
+  uint64_t max = 0;
+  std::array<int64_t, Histogram::kNumBuckets> buckets{};
+};
+
+/// Point-in-time copy of every instrument in a registry, sorted by name
+/// (map order). Series are represented by their retained values + total
+/// count.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, int64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+  std::vector<std::pair<std::string, int64_t>> series_counts;
+};
+
 class MetricsRegistry {
  public:
   static MetricsRegistry& Global();
@@ -116,6 +147,18 @@ class MetricsRegistry {
   /// emitted as JSON strings ("nan", "inf") to keep the document parseable.
   std::string ToJson() const;
 
+  /// Structured point-in-time copy of every instrument (used by the
+  /// MetricsExporter for delta-rate computation).
+  MetricsSnapshot Snapshot() const;
+
+  /// Prometheus text exposition format (version 0.0.4): counters and
+  /// gauges as scalar samples, histograms as `<name>_bucket{le="..."}`
+  /// cumulative buckets plus `_sum`/`_count`. Metric names have the dots
+  /// of the mcond convention mapped to underscores; series are exported
+  /// as `<name>_total` counters of their append count (the retained
+  /// values have no Prometheus shape).
+  std::string ToPrometheus() const;
+
   /// Drops every registered instrument (references into the registry are
   /// invalidated — tests only).
   void ResetForTesting();
@@ -129,12 +172,25 @@ class MetricsRegistry {
 };
 
 /// Approximate quantile (q in [0, 1], clamped) from a histogram's pow-2
-/// buckets: the exclusive upper bound of the bucket holding the ⌈q·count⌉-th
-/// smallest sample, clamped into [Min(), Max()] so exact-percentile
-/// consumers (p50/p99 in benchmark reports) never see a value outside the
-/// observed range. 0 for an empty histogram. Resolution is the bucket
-/// width, i.e. a factor of 2.
+/// buckets, with linear interpolation inside the bucket holding the
+/// ⌈q·count⌉-th smallest sample: the estimate is
+/// `lower + (rank_within_bucket / bucket_count) * width`, clamped into
+/// [Min(), Max()] so exact-percentile consumers (p50/p99 in benchmark
+/// reports) never see a value outside the observed range. 0 for an empty
+/// histogram. Interpolation assumes samples spread uniformly within a
+/// bucket — much tighter than the old upper-bound answer at serving
+/// latencies, though still an approximation.
 uint64_t HistogramApproxQuantile(const Histogram& h, double q);
+
+/// Same estimator over a snapshot — or over a *delta* of two snapshots
+/// (per-interval quantiles in the MetricsExporter).
+uint64_t HistogramApproxQuantile(const HistogramSnapshot& h, double q);
+
+/// Element-wise `cur - prev` (buckets, count, sum); min/max are taken from
+/// `cur` since extrema are not differentiable. The delta of two snapshots
+/// of one histogram is the distribution of samples recorded between them.
+HistogramSnapshot HistogramSnapshotDelta(const HistogramSnapshot& cur,
+                                         const HistogramSnapshot& prev);
 
 /// Conveniences over MetricsRegistry::Global().
 Counter& GetCounter(const std::string& name);
@@ -142,6 +198,7 @@ Gauge& GetGauge(const std::string& name);
 Histogram& GetHistogram(const std::string& name);
 Series& GetSeries(const std::string& name);
 std::string MetricsToJson();
+std::string MetricsToPrometheus();
 
 }  // namespace obs
 }  // namespace mcond

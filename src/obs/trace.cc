@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "obs/log.h"
+#include "obs/metrics.h"
 
 namespace mcond {
 namespace obs {
@@ -22,6 +23,7 @@ struct TraceRing {
 };
 
 std::atomic<bool> g_enabled{false};
+std::atomic<uint64_t> g_next_flow_id{1};
 
 TraceRing& Ring() {
   static TraceRing* ring = new TraceRing();  // Leaked: lives for the process.
@@ -48,6 +50,18 @@ uint64_t ToMicros(Clock::duration d) {
 void AppendEvent(const TraceEvent& event) {
   TraceRing& ring = Ring();
   const uint64_t idx = ring.next.fetch_add(1, std::memory_order_relaxed);
+  if (idx >= kRingCapacity) {
+    // This append overwrites the oldest retained event. Cold path: only
+    // overflowing traces pay for the counter and the one-shot warning.
+    static Counter& dropped = GetCounter("mcond.trace.dropped");
+    dropped.Increment();
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true, std::memory_order_relaxed)) {
+      MCOND_LOG(WARN) << "trace ring overflow: events are being dropped "
+                         "(capacity " << kRingCapacity
+                      << "); oldest spans will be missing from the export";
+    }
+  }
   ring.slots[idx % kRingCapacity] = event;
 }
 
@@ -64,6 +78,18 @@ void AppendEscaped(std::ostringstream& out, const char* s) {
       out << c;
     }
   }
+}
+
+void AppendAsyncMarker(const char* name, uint64_t id,
+                       TraceEvent::Kind kind) {
+  if (!TracingEnabled()) return;
+  TraceEvent event;
+  event.name = name;
+  event.start_us = MonotonicMicros();
+  event.tid = ThisThreadTrack();
+  event.flow_id = id;
+  event.kind = kind;
+  AppendEvent(event);
 }
 
 }  // namespace
@@ -87,6 +113,18 @@ uint64_t TraceEventsDropped() {
   return total > kRingCapacity ? total - kRingCapacity : 0;
 }
 
+uint64_t NewTraceFlowId() {
+  return g_next_flow_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+void TraceAsyncBegin(const char* name, uint64_t id) {
+  AppendAsyncMarker(name, id, TraceEvent::Kind::kAsyncBegin);
+}
+
+void TraceAsyncEnd(const char* name, uint64_t id) {
+  AppendAsyncMarker(name, id, TraceEvent::Kind::kAsyncEnd);
+}
+
 std::vector<TraceEvent> TraceSnapshot() {
   TraceRing& ring = Ring();
   const uint64_t total = ring.next.load(std::memory_order_acquire);
@@ -107,14 +145,45 @@ std::string TraceToJson() {
       << TraceEventsRecorded() << ",\"dropped\":" << TraceEventsDropped()
       << "},\"traceEvents\":[";
   bool first = true;
-  for (const TraceEvent& e : events) {
+  const auto comma = [&] {
     if (!first) out << ",";
     first = false;
+  };
+  for (const TraceEvent& e : events) {
+    if (e.kind != TraceEvent::Kind::kSpan) {
+      // Async duration marker: "b"/"e" joined by id (queue residency etc.).
+      comma();
+      out << "{\"name\":\"";
+      AppendEscaped(out, e.name);
+      out << "\",\"cat\":\"mcond\",\"ph\":\""
+          << (e.kind == TraceEvent::Kind::kAsyncBegin ? 'b' : 'e')
+          << "\",\"id\":" << e.flow_id << ",\"pid\":1,\"tid\":" << e.tid
+          << ",\"ts\":" << e.start_us << "}";
+      continue;
+    }
+    comma();
     out << "{\"name\":\"";
     AppendEscaped(out, e.name);
     out << "\",\"cat\":\"mcond\",\"ph\":\"X\",\"pid\":1,\"tid\":" << e.tid
         << ",\"ts\":" << e.start_us << ",\"dur\":" << e.dur_us
-        << ",\"args\":{\"depth\":" << e.depth << "}}";
+        << ",\"args\":{\"depth\":" << e.depth;
+    if (e.flow_id != 0) out << ",\"flow_id\":" << e.flow_id;
+    out << "}}";
+    if (e.flow_id != 0 && e.flow != FlowPhase::kNone) {
+      // Companion flow event at a timestamp inside the span, so viewers
+      // bind the arrow to this slice. All phases share one constant name:
+      // Chrome matches flows on cat+id+name, and the ids are unique.
+      const char ph = e.flow == FlowPhase::kStart   ? 's'
+                      : e.flow == FlowPhase::kStep  ? 't'
+                                                    : 'f';
+      comma();
+      out << "{\"name\":\"req\",\"cat\":\"mcond\",\"ph\":\"" << ph
+          << "\",\"id\":" << e.flow_id << ",\"pid\":1,\"tid\":" << e.tid
+          << ",\"ts\":" << e.start_us;
+      // Arrow heads bind to the enclosing slice rather than the next one.
+      if (ph == 'f') out << ",\"bp\":\"e\"";
+      out << "}";
+    }
   }
   out << "]}";
   return out.str();
@@ -146,6 +215,8 @@ TraceSpan::~TraceSpan() {
   event.start_us = now_us > event.dur_us ? now_us - event.dur_us : 0;
   event.tid = ThisThreadTrack();
   event.depth = depth_;
+  event.flow_id = flow_id_;
+  event.flow = flow_;
   AppendEvent(event);
 }
 

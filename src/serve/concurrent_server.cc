@@ -1,23 +1,29 @@
 #include "serve/concurrent_server.h"
 
-#include <chrono>
 #include <cstring>
+#include <string>
 #include <utility>
 
 #include "core/logging.h"
 #include "core/parallel.h"
 #include "core/rng.h"
+#include "obs/log.h"
+#include "obs/trace.h"
 
 namespace mcond {
 
 /// One queued serve. The submitter owns the batch and output tensor; the
 /// server owns the lifecycle (enqueue → serve → completion signal) through
-/// a shared_ptr held by both the queue and the ticket.
+/// a shared_ptr held by both the queue and the ticket. `timing` carries
+/// the request across the thread boundary together with its trace flow
+/// id, so the worker can close the flow the submitter opened.
 struct ServeRequest {
   const HeldOutBatch* batch = nullptr;
   bool graph_batch = false;
   Tensor* out = nullptr;
-  std::chrono::steady_clock::time_point enqueue_time;
+  ServeTiming timing;
+  /// Trace flow correlation id; 0 when tracing was off at submit time.
+  uint64_t flow_id = 0;
 
   std::mutex mu;
   std::condition_variable cv;
@@ -30,6 +36,12 @@ Status ServeTicket::Wait() {
   std::unique_lock<std::mutex> lock(req_->mu);
   req_->cv.wait(lock, [&] { return req_->done; });
   return req_->status;
+}
+
+ServeTiming ServeTicket::timing() const {
+  MCOND_CHECK(req_ != nullptr) << "timing() on an empty ServeTicket";
+  std::lock_guard<std::mutex> lock(req_->mu);
+  return req_->timing;
 }
 
 ReplicaPool::ReplicaPool(std::shared_ptr<const SessionBase> base,
@@ -59,7 +71,9 @@ ConcurrentServer::ConcurrentServer(std::shared_ptr<const SessionBase> base,
       micro_batches_(obs::GetCounter("mcond.server.micro_batches")),
       queue_depth_(obs::GetGauge("mcond.server.queue_depth")),
       inflight_(obs::GetGauge("mcond.server.inflight")),
-      latency_us_(obs::GetHistogram("mcond.server.latency_us")) {
+      latency_us_(obs::GetHistogram("mcond.server.latency_us")),
+      queue_wait_us_(obs::GetHistogram("mcond.server.queue_wait_us")),
+      service_us_(obs::GetHistogram("mcond.server.service_us")) {
   MCOND_CHECK_GE(config_.queue_capacity, 1);
   MCOND_CHECK_GE(config_.micro_batch, 1);
   workers_.reserve(static_cast<size_t>(config_.num_replicas));
@@ -102,6 +116,15 @@ StatusOr<ServeTicket> ConcurrentServer::Submit(const HeldOutBatch& batch,
   req->batch = &batch;
   req->graph_batch = graph_batch;
   req->out = out;
+  // The submit span starts this request's trace flow on the client thread;
+  // the worker's server.request span terminates it, so one request renders
+  // as one connected chain across threads. A blocking submit keeps the
+  // span open while backpressured, making admission stalls visible.
+  obs::TraceSpan submit_span("server.submit");
+  if (obs::TracingEnabled()) {
+    req->flow_id = obs::NewTraceFlowId();
+    submit_span.SetFlow(req->flow_id, obs::FlowPhase::kStart);
+  }
   {
     std::unique_lock<std::mutex> lock(mu_);
     if (!accepting_) {
@@ -122,10 +145,13 @@ StatusOr<ServeTicket> ConcurrentServer::Submit(const HeldOutBatch& batch,
         return Status::FailedPrecondition("Submit: server is shut down");
       }
     }
-    req->enqueue_time = std::chrono::steady_clock::now();
+    req->timing.enqueue_us = obs::MonotonicMicros();
     queue_.push_back(req);
     queue_depth_.Set(static_cast<double>(queue_.size()));
     requests_.Increment();
+  }
+  if (req->flow_id != 0) {
+    obs::TraceAsyncBegin("server.queued", req->flow_id);
   }
   queue_cv_.notify_one();
   return ServeTicket(std::move(req));
@@ -171,6 +197,11 @@ void ConcurrentServer::WorkerLoop(int worker_index) {
   // Inference never draws from the Rng (Dropout is a no-op at serve time);
   // a worker-local stream exists only to satisfy the Serve signature.
   Rng rng(0x5eed0000ull + static_cast<uint64_t>(worker_index));
+  // metric-name: mcond.server.worker<i>_busy_ratio
+  obs::Gauge& busy_ratio = obs::GetGauge(
+      "mcond.server.worker" + std::to_string(worker_index) + "_busy_ratio");
+  const uint64_t worker_start_us = obs::MonotonicMicros();
+  uint64_t busy_us = 0;
   std::vector<std::shared_ptr<ServeRequest>> drained;
   for (;;) {
     drained.clear();
@@ -187,8 +218,10 @@ void ConcurrentServer::WorkerLoop(int worker_index) {
       // acquisition; they are served back-to-back on the warm replica
       // below, each with its solo per-request math (never merged into one
       // composed adjacency — that would change the logits).
+      const uint64_t dequeue_us = obs::MonotonicMicros();
       while (!queue_.empty() &&
              static_cast<int>(drained.size()) < config_.micro_batch) {
+        queue_.front()->timing.dequeue_us = dequeue_us;
         drained.push_back(std::move(queue_.front()));
         queue_.pop_front();
       }
@@ -196,30 +229,53 @@ void ConcurrentServer::WorkerLoop(int worker_index) {
       inflight_.Set(inflight_.Value() + static_cast<double>(drained.size()));
     }
     space_cv_.notify_all();
+    for (const std::shared_ptr<ServeRequest>& req : drained) {
+      if (req->flow_id != 0) {
+        obs::TraceAsyncEnd("server.queued", req->flow_id);
+      }
+    }
     if (drained.size() > 1) micro_batches_.Increment();
 
-    for (const std::shared_ptr<ServeRequest>& req : drained) {
-      const Tensor& logits =
-          replica.Serve(*req->batch, req->graph_batch, rng);
-      Tensor& out = *req->out;
-      if (out.rows() != logits.rows() || out.cols() != logits.cols()) {
-        // Allocates off-arena (heap): the buffer must outlive this serve.
-        // Steady-state callers reuse a warm tensor and skip this.
-        out = Tensor::Uninitialized(logits.rows(), logits.cols());
+    {
+      // One batch span per coalesced drain: the N request flows of the
+      // drained batch all fan into it in the trace view.
+      obs::TraceSpan batch_span(drained.size() > 1 ? "server.micro_batch"
+                                                   : "server.drain");
+      for (const std::shared_ptr<ServeRequest>& req : drained) {
+        obs::TraceSpan request_span("server.request");
+        request_span.SetFlow(req->flow_id, obs::FlowPhase::kEnd);
+        const Tensor& logits =
+            replica.Serve(*req->batch, req->graph_batch, rng);
+        Tensor& out = *req->out;
+        if (out.rows() != logits.rows() || out.cols() != logits.cols()) {
+          // Allocates off-arena (heap): the buffer must outlive this
+          // serve. Steady-state callers reuse a warm tensor and skip this.
+          out = Tensor::Uninitialized(logits.rows(), logits.cols());
+        }
+        std::memcpy(out.data(), logits.data(),
+                    static_cast<size_t>(logits.size()) * sizeof(float));
+        const uint64_t done_us = obs::MonotonicMicros();
+        // queue_wait + service sums to latency exactly: all three come
+        // from the same three stamps.
+        latency_us_.Record(done_us - req->timing.enqueue_us);
+        queue_wait_us_.Record(req->timing.dequeue_us -
+                              req->timing.enqueue_us);
+        service_us_.Record(done_us - req->timing.dequeue_us);
+        {
+          std::lock_guard<std::mutex> done_lock(req->mu);
+          req->timing.done_us = done_us;
+          req->done = true;
+          req->status = Status::Ok();
+        }
+        req->cv.notify_all();
       }
-      std::memcpy(out.data(), logits.data(),
-                  static_cast<size_t>(logits.size()) * sizeof(float));
-      const uint64_t us = static_cast<uint64_t>(
-          std::chrono::duration_cast<std::chrono::microseconds>(
-              std::chrono::steady_clock::now() - req->enqueue_time)
-              .count());
-      latency_us_.Record(us);
-      {
-        std::lock_guard<std::mutex> done_lock(req->mu);
-        req->done = true;
-        req->status = Status::Ok();
-      }
-      req->cv.notify_all();
+    }
+    const uint64_t idle_end_us = drained.front()->timing.dequeue_us;
+    const uint64_t now_us = obs::MonotonicMicros();
+    busy_us += now_us - idle_end_us;
+    if (now_us > worker_start_us) {
+      busy_ratio.Set(static_cast<double>(busy_us) /
+                     static_cast<double>(now_us - worker_start_us));
     }
     {
       std::lock_guard<std::mutex> lock(mu_);

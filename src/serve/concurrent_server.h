@@ -21,6 +21,22 @@ namespace mcond {
 
 struct ServeRequest;  // internal; defined in concurrent_server.cc
 
+/// Lifecycle timestamps of one served request, all on the shared
+/// obs::MonotonicMicros clock. Stamped by the server: enqueue at admission
+/// (on the submitting thread), dequeue when a worker drains the request
+/// out of the queue, done when its logits have been copied into the
+/// caller's output tensor. By construction
+/// `queue_wait_us() + service_us() == latency_us()` exactly.
+struct ServeTiming {
+  uint64_t enqueue_us = 0;
+  uint64_t dequeue_us = 0;
+  uint64_t done_us = 0;
+
+  uint64_t queue_wait_us() const { return dequeue_us - enqueue_us; }
+  uint64_t service_us() const { return done_us - dequeue_us; }
+  uint64_t latency_us() const { return done_us - enqueue_us; }
+};
+
 /// K ServingSession replicas over one shared SessionBase: the immutable
 /// build-time caches (self-looped base, degree accumulators, normalized
 /// base operator blocks, CSC patch indexes) are paid once, and only the
@@ -58,6 +74,10 @@ class ServeTicket {
   ServeTicket() = default;
   /// Blocks until the request completes. Idempotent after completion.
   Status Wait();
+
+  /// The request's lifecycle timestamps. Only meaningful after Wait()
+  /// returned (dequeue/done are 0 until the worker stamps them).
+  ServeTiming timing() const;
 
  private:
   friend class ConcurrentServer;
@@ -103,8 +123,20 @@ class ServeTicket {
 /// and joins the workers.
 ///
 /// Observability (`mcond.server.*`): `requests` / `rejected` /
-/// `micro_batches` counters, `queue_depth` / `inflight` gauges, and the
-/// `latency_us` enqueue-to-reply histogram.
+/// `micro_batches` counters, `queue_depth` / `inflight` gauges, the
+/// `latency_us` enqueue-to-reply histogram and its exact two-stage
+/// breakdown `queue_wait_us` (enqueue → worker drain) + `service_us`
+/// (drain → logits copied out), plus one `worker<i>_busy_ratio` gauge per
+/// worker (fraction of its lifetime spent serving). When tracing is
+/// enabled, every request carries a trace flow: the `server.submit` span
+/// on the client thread starts flow `id`, a `server.queued` async pair
+/// renders the queue residency, and the worker's `server.request` span
+/// (with the nested `serve.session.*` stage spans) terminates the flow —
+/// one request reads as one connected chain across threads in Perfetto,
+/// with coalesced drains grouped under a `server.micro_batch` span that
+/// multiple request flows fan into. With tracing disabled all of this
+/// costs the usual single relaxed load per span plus three clock reads
+/// per request (the timing stamps feed the histograms unconditionally).
 class ConcurrentServer {
  public:
   struct Config {
@@ -170,6 +202,8 @@ class ConcurrentServer {
   obs::Gauge& queue_depth_;
   obs::Gauge& inflight_;
   obs::Histogram& latency_us_;
+  obs::Histogram& queue_wait_us_;
+  obs::Histogram& service_us_;
 };
 
 }  // namespace mcond

@@ -10,11 +10,14 @@
 #include <atomic>
 #include <chrono>
 #include <cstring>
+#include <map>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "core/parallel.h"
+#include "obs/trace.h"
 #include "core/tensor_ops.h"
 #include "coreset/coreset.h"
 #include "data/datasets.h"
@@ -315,6 +318,127 @@ TEST_F(ConcurrentServerTest, SteadyStateServingIsZeroTensorHeapAlloc) {
   }
   EXPECT_EQ(internal::TensorHeapAllocCount(), warm)
       << "steady-state concurrent serving must not allocate tensor memory";
+}
+
+TEST_F(ConcurrentServerTest, TimingAttributionSumsExactlyToLatency) {
+  std::shared_ptr<const SessionBase> base = SessionBase::Build(*condensed_);
+  ConcurrentServer::Config cfg;
+  cfg.num_replicas = 2;
+  cfg.micro_batch = 4;
+  // Histogram sums before, so the per-request identity can also be checked
+  // in aggregate across everything this server records.
+  obs::Histogram& latency = obs::GetHistogram("mcond.server.latency_us");
+  obs::Histogram& queue_wait = obs::GetHistogram("mcond.server.queue_wait_us");
+  obs::Histogram& service = obs::GetHistogram("mcond.server.service_us");
+  const int64_t latency_sum0 = latency.Sum();
+  const int64_t queue_wait_sum0 = queue_wait.Sum();
+  const int64_t service_sum0 = service.Sum();
+  const int64_t count0 = latency.Count();
+
+  ConcurrentServer server(base, *model_, cfg);
+  std::vector<Tensor> outs(batches_->size());
+  std::vector<ServeTicket> tickets;
+  for (size_t i = 0; i < batches_->size(); ++i) {
+    StatusOr<ServeTicket> t =
+        server.Submit((*batches_)[i], /*graph_batch=*/false, &outs[i]);
+    ASSERT_TRUE(t.ok());
+    tickets.push_back(t.value());
+  }
+  for (ServeTicket& t : tickets) ASSERT_TRUE(t.Wait().ok());
+  for (ServeTicket& t : tickets) {
+    const ServeTiming timing = t.timing();
+    // Stamps are ordered on the shared monotonic clock...
+    EXPECT_LE(timing.enqueue_us, timing.dequeue_us);
+    EXPECT_LE(timing.dequeue_us, timing.done_us);
+    // ...and the two stages partition the end-to-end latency exactly.
+    EXPECT_EQ(timing.queue_wait_us() + timing.service_us(),
+              timing.latency_us());
+  }
+  server.Shutdown();
+
+  EXPECT_EQ(latency.Count() - count0,
+            static_cast<int64_t>(batches_->size()));
+  EXPECT_EQ(queue_wait.Count(), latency.Count());
+  EXPECT_EQ(service.Count(), latency.Count());
+  // The same identity holds for the recorded histograms in aggregate.
+  EXPECT_EQ((queue_wait.Sum() - queue_wait_sum0) +
+                (service.Sum() - service_sum0),
+            latency.Sum() - latency_sum0);
+
+  // Each worker that served something published a utilization gauge.
+  double busy_sum = 0.0;
+  for (int r = 0; r < cfg.num_replicas; ++r) {
+    const std::string name =
+        "mcond.server.worker" + std::to_string(r) + "_busy_ratio";
+    // metric-name: mcond.server.worker<i>_busy_ratio
+    busy_sum += obs::GetGauge(name).Value();
+  }
+  EXPECT_GT(busy_sum, 0.0);
+}
+
+TEST_F(ConcurrentServerTest, TracedRunProducesConnectedFlows) {
+  obs::ClearTrace();
+  obs::EnableTracing(true);
+  std::shared_ptr<const SessionBase> base = SessionBase::Build(*condensed_);
+  ConcurrentServer::Config cfg;
+  cfg.num_replicas = 2;
+  cfg.micro_batch = 2;
+  {
+    ConcurrentServer server(base, *model_, cfg);
+    std::vector<Tensor> outs(batches_->size());
+    std::vector<ServeTicket> tickets;
+    for (size_t i = 0; i < batches_->size(); ++i) {
+      StatusOr<ServeTicket> t =
+          server.Submit((*batches_)[i], /*graph_batch=*/false, &outs[i]);
+      ASSERT_TRUE(t.ok());
+      tickets.push_back(t.value());
+    }
+    for (ServeTicket& t : tickets) ASSERT_TRUE(t.Wait().ok());
+    server.Shutdown();
+  }
+  obs::EnableTracing(false);
+
+  // Every request must appear as one connected chain: a server.submit span
+  // starting its flow on the submitting thread, a queued async pair, and a
+  // server.request span ending the flow on a worker thread.
+  struct FlowParts {
+    int submit_start = 0;
+    int request_end = 0;
+    int async_begin = 0;
+    int async_end = 0;
+    uint32_t submit_tid = 0;
+    uint32_t request_tid = 0;
+  };
+  std::map<uint64_t, FlowParts> flows;
+  for (const obs::TraceEvent& e : obs::TraceSnapshot()) {
+    if (e.flow_id == 0) continue;
+    FlowParts& parts = flows[e.flow_id];
+    if (e.kind == obs::TraceEvent::Kind::kAsyncBegin) {
+      ++parts.async_begin;
+    } else if (e.kind == obs::TraceEvent::Kind::kAsyncEnd) {
+      ++parts.async_end;
+    } else if (e.flow == obs::FlowPhase::kStart) {
+      ++parts.submit_start;
+      parts.submit_tid = e.tid;
+      EXPECT_STREQ(e.name, "server.submit");
+    } else if (e.flow == obs::FlowPhase::kEnd) {
+      ++parts.request_end;
+      parts.request_tid = e.tid;
+      EXPECT_STREQ(e.name, "server.request");
+    }
+  }
+  ASSERT_EQ(flows.size(), batches_->size());
+  bool crossed_threads = false;
+  for (const auto& [flow_id, parts] : flows) {
+    EXPECT_EQ(parts.submit_start, 1) << "flow " << flow_id;
+    EXPECT_EQ(parts.request_end, 1) << "flow " << flow_id;
+    EXPECT_EQ(parts.async_begin, 1) << "flow " << flow_id;
+    EXPECT_EQ(parts.async_end, 1) << "flow " << flow_id;
+    if (parts.submit_tid != parts.request_tid) crossed_threads = true;
+  }
+  EXPECT_TRUE(crossed_threads)
+      << "no request flow crossed from the submitter to a worker thread";
+  obs::ClearTrace();
 }
 
 TEST_F(ConcurrentServerTest, SetNumThreadsDuringServingStaysExact) {

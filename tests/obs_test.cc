@@ -5,13 +5,21 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cctype>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/export.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -234,6 +242,8 @@ TEST_F(TraceTest, TraceJsonIsWellFormedAndNamesSpans) {
 }
 
 TEST_F(TraceTest, RingOverflowDropsOldestAndCounts) {
+  const int64_t dropped_metric_before =
+      obs::GetCounter("mcond.trace.dropped").Value();
   const uint64_t over = 100;
   const uint64_t capacity = 1 << 16;
   for (uint64_t i = 0; i < capacity + over; ++i) {
@@ -242,6 +252,11 @@ TEST_F(TraceTest, RingOverflowDropsOldestAndCounts) {
   EXPECT_EQ(obs::TraceEventsRecorded(), capacity + over);
   EXPECT_EQ(obs::TraceEventsDropped(), over);
   EXPECT_EQ(obs::TraceSnapshot().size(), capacity);
+  // Drops surface in the metrics registry too, so exporters can alert on
+  // truncated traces without reading the trace API.
+  EXPECT_EQ(obs::GetCounter("mcond.trace.dropped").Value() -
+                dropped_metric_before,
+            static_cast<int64_t>(over));
 }
 
 TEST_F(TraceTest, SpansFromMultipleThreadsGetDistinctTracks) {
@@ -255,6 +270,78 @@ TEST_F(TraceTest, SpansFromMultipleThreadsGetDistinctTracks) {
   const std::vector<obs::TraceEvent> events = obs::TraceSnapshot();
   ASSERT_EQ(events.size(), 2u);
   EXPECT_NE(events[0].tid, events[1].tid);
+}
+
+TEST_F(TraceTest, FlowIdsAreUniqueAndNonZero) {
+  const uint64_t a = obs::NewTraceFlowId();
+  const uint64_t b = obs::NewTraceFlowId();
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+}
+
+TEST_F(TraceTest, SpanFlowAnnotationsLandInSnapshot) {
+  const uint64_t flow = obs::NewTraceFlowId();
+  {
+    obs::TraceSpan producer("produce");
+    producer.SetFlow(flow, obs::FlowPhase::kStart);
+  }
+  std::thread t([flow] {
+    obs::TraceSpan consumer("consume");
+    consumer.SetFlow(flow, obs::FlowPhase::kEnd);
+  });
+  t.join();
+  const std::vector<obs::TraceEvent> events = obs::TraceSnapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].flow_id, flow);
+  EXPECT_EQ(events[0].flow, obs::FlowPhase::kStart);
+  EXPECT_EQ(events[1].flow_id, flow);
+  EXPECT_EQ(events[1].flow, obs::FlowPhase::kEnd);
+  EXPECT_NE(events[0].tid, events[1].tid);  // the flow crossed threads
+}
+
+TEST_F(TraceTest, FlowJsonEmitsConnectedFlowEvents) {
+  const uint64_t flow = obs::NewTraceFlowId();
+  {
+    obs::TraceSpan producer("produce");
+    producer.SetFlow(flow, obs::FlowPhase::kStart);
+  }
+  {
+    obs::TraceSpan consumer("consume");
+    consumer.SetFlow(flow, obs::FlowPhase::kEnd);
+  }
+  const std::string json = obs::TraceToJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  // One flow-start ('s') and one flow-finish ('f') companion event, bound
+  // to the enclosing slices ("bp":"e"), sharing the flow id.
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos) << json;
+  char id_field[32];
+  std::snprintf(id_field, sizeof(id_field), "\"id\":%llu",
+                static_cast<unsigned long long>(flow));
+  EXPECT_NE(json.find(id_field), std::string::npos) << json;
+}
+
+TEST_F(TraceTest, AsyncEventsPairUpInJson) {
+  const uint64_t flow = obs::NewTraceFlowId();
+  obs::TraceAsyncBegin("queued", flow);
+  obs::TraceAsyncEnd("queued", flow);
+  const std::vector<obs::TraceEvent> events = obs::TraceSnapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, obs::TraceEvent::Kind::kAsyncBegin);
+  EXPECT_EQ(events[1].kind, obs::TraceEvent::Kind::kAsyncEnd);
+  const std::string json = obs::TraceToJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"ph\":\"b\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"ph\":\"e\""), std::string::npos) << json;
+}
+
+TEST_F(TraceTest, AsyncMarkersAreFreeWhenDisabled) {
+  obs::EnableTracing(false);
+  obs::TraceAsyncBegin("ghost", 123);
+  obs::TraceAsyncEnd("ghost", 123);
+  EXPECT_EQ(obs::TraceSnapshot().size(), 0u);
 }
 
 // ---------------------------------------------------------------------------
@@ -292,7 +379,7 @@ TEST(HistogramTest, RecordUpdatesCountSumMinMax) {
   EXPECT_EQ(h.BucketCount(0), 1);  // The sample `1`.
 }
 
-TEST(HistogramTest, ApproxQuantileTracksBuckets) {
+TEST(HistogramTest, ApproxQuantileInterpolatesWithinBuckets) {
   obs::Histogram empty;
   EXPECT_EQ(obs::HistogramApproxQuantile(empty, 0.5), 0u);
 
@@ -300,18 +387,38 @@ TEST(HistogramTest, ApproxQuantileTracksBuckets) {
   // 90 fast samples around 10us, 10 slow ones around 1000us.
   for (int i = 0; i < 90; ++i) h.Record(10);
   for (int i = 0; i < 10; ++i) h.Record(1000);
-  // p50 lands in the [8,16) bucket; the approximation reports its upper
-  // bound.
-  EXPECT_EQ(obs::HistogramApproxQuantile(h, 0.5), 16u);
-  // p99 lands in the slow bucket but is clamped to the observed max.
-  EXPECT_EQ(obs::HistogramApproxQuantile(h, 0.99), 1000u);
-  // Quantiles below the first occupied bucket report that bucket's upper
-  // bound too (never less than a real sample's bucket).
-  EXPECT_EQ(obs::HistogramApproxQuantile(h, 0.0), 16u);
+  // p50 lands in the [8,16) bucket holding all 90 fast samples; linear
+  // interpolation puts rank 50 of 90 at 8 + (50/90)*8 = 12.44 -> 12.
+  EXPECT_EQ(obs::HistogramApproxQuantile(h, 0.5), 12u);
+  // p99 is rank 99: 9 of the 10 samples in [512,1024) are below it, so
+  // 512 + 0.9*512 = 972 (within the observed max of 1000, no clamp).
+  EXPECT_EQ(obs::HistogramApproxQuantile(h, 0.99), 972u);
+  // Quantiles below the observed minimum clamp up to it: rank 1 of 90
+  // interpolates to 8.09 inside [8,16), but no sample was below 10.
+  EXPECT_EQ(obs::HistogramApproxQuantile(h, 0.0), 10u);
+  // The top of the distribution clamps to the observed max.
+  EXPECT_EQ(obs::HistogramApproxQuantile(h, 1.0), 1000u);
 
+  // A single sample reports itself exactly: interpolation reaches the
+  // bucket's upper bound (8), the max clamp pulls it back to 7.
   obs::Histogram one;
   one.Record(7);
   EXPECT_EQ(obs::HistogramApproxQuantile(one, 0.5), 7u);
+
+  // Uniform fill of one bucket: quantiles step monotonically through it
+  // instead of all collapsing onto the upper bound.
+  obs::Histogram uniform;
+  for (int i = 0; i < 100; ++i) {
+    uniform.Record(64 + static_cast<uint64_t>(i % 64));  // all in [64,128)
+  }
+  const uint64_t q25 = obs::HistogramApproxQuantile(uniform, 0.25);
+  const uint64_t q50 = obs::HistogramApproxQuantile(uniform, 0.5);
+  const uint64_t q75 = obs::HistogramApproxQuantile(uniform, 0.75);
+  EXPECT_LT(q25, q50);
+  EXPECT_LT(q50, q75);
+  EXPECT_EQ(q25, 80u);   // 64 + 0.25*64
+  EXPECT_EQ(q50, 96u);   // 64 + 0.50*64
+  EXPECT_EQ(q75, 112u);  // 64 + 0.75*64
 }
 
 TEST(MetricsTest, CounterIsAtomicUnderContention) {
@@ -386,6 +493,85 @@ TEST(MetricsTest, GlobalRegistryHandlesAreStable) {
   EXPECT_EQ(&a, &b);
   const std::string json = obs::MetricsToJson();
   EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+}
+
+TEST(MetricsTest, SnapshotIsSortedAndComplete) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("mcond.test.zulu").Increment(2);
+  registry.GetCounter("mcond.test.alpha").Increment(1);
+  registry.GetGauge("mcond.test.depth").Set(3.5);
+  registry.GetHistogram("mcond.test.lat_us").Record(100);
+  registry.GetSeries("mcond.test.loss").Append(0.5);
+  const obs::MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 2u);
+  EXPECT_EQ(snap.counters[0].first, "mcond.test.alpha");
+  EXPECT_EQ(snap.counters[0].second, 1);
+  EXPECT_EQ(snap.counters[1].first, "mcond.test.zulu");
+  EXPECT_EQ(snap.counters[1].second, 2);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].second, 3.5);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].second.count, 1);
+  EXPECT_EQ(snap.histograms[0].second.sum, 100);
+  ASSERT_EQ(snap.series_counts.size(), 1u);
+  EXPECT_EQ(snap.series_counts[0].second, 1);
+}
+
+TEST(MetricsTest, HistogramSnapshotDeltaIsolatesTheInterval) {
+  obs::Histogram h;
+  for (int i = 0; i < 50; ++i) h.Record(10);
+  const obs::HistogramSnapshot before = h.Snapshot();
+  for (int i = 0; i < 30; ++i) h.Record(1000);
+  const obs::HistogramSnapshot delta =
+      obs::HistogramSnapshotDelta(h.Snapshot(), before);
+  EXPECT_EQ(delta.count, 30);
+  EXPECT_EQ(delta.sum, 30 * 1000);
+  // Only the slow bucket moved during the interval, so interval quantiles
+  // see none of the 50 earlier fast samples.
+  EXPECT_GE(obs::HistogramApproxQuantile(delta, 0.5), 512u);
+}
+
+TEST(MetricsTest, PrometheusExpositionFormat) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("mcond.test.requests").Increment(7);
+  registry.GetGauge("mcond.test.queue_depth").Set(2.5);
+  obs::Histogram& h = registry.GetHistogram("mcond.test.latency_us");
+  h.Record(3);    // bucket [2,4)
+  h.Record(100);  // bucket [64,128)
+  registry.GetSeries("mcond.test.loss").Append(1.0);
+  const std::string prom = registry.ToPrometheus();
+  // Dots sanitize to underscores; every instrument carries a # TYPE line.
+  EXPECT_NE(prom.find("# TYPE mcond_test_requests counter"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("mcond_test_requests 7"), std::string::npos) << prom;
+  EXPECT_NE(prom.find("# TYPE mcond_test_queue_depth gauge"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("mcond_test_queue_depth 2.5"), std::string::npos)
+      << prom;
+  // Histograms expose cumulative buckets ending in +Inf plus _sum/_count.
+  EXPECT_NE(prom.find("# TYPE mcond_test_latency_us histogram"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("mcond_test_latency_us_bucket{le=\"4\"} 1"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("mcond_test_latency_us_bucket{le=\"128\"} 2"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("mcond_test_latency_us_bucket{le=\"+Inf\"} 2"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("mcond_test_latency_us_sum 103"), std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("mcond_test_latency_us_count 2"), std::string::npos)
+      << prom;
+  // Series surface as their sample-count counter.
+  EXPECT_NE(prom.find("mcond_test_loss_total 1"), std::string::npos) << prom;
+  // Text exposition must end with a newline (scrapers require it).
+  ASSERT_FALSE(prom.empty());
+  EXPECT_EQ(prom.back(), '\n');
 }
 
 // ---------------------------------------------------------------------------
@@ -463,6 +649,179 @@ TEST_F(LogTest, ParseLogLevelAcceptsNamesAndNumbers) {
   EXPECT_EQ(level, obs::LogLevel::kError);
   EXPECT_FALSE(obs::ParseLogLevel("loud", &level));
   EXPECT_EQ(level, obs::LogLevel::kError);  // Unchanged on failure.
+}
+
+// ---------------------------------------------------------------------------
+// InitObservabilityFromEnv: misconfigured environments must leave the
+// defaults intact instead of silently flipping subsystems.
+
+class EnvInitTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    unsetenv("MCOND_LOG_LEVEL");
+    unsetenv("MCOND_VLOG");
+    unsetenv("MCOND_TRACE");
+    obs::EnableTracing(false);
+    obs::ClearTrace();
+    obs::ReinitLoggingFromEnv();
+  }
+};
+
+TEST_F(EnvInitTest, InvalidLogLevelKeepsDefault) {
+  setenv("MCOND_LOG_LEVEL", "loudest", /*overwrite=*/1);
+  obs::InitObservabilityFromEnv();
+  EXPECT_EQ(obs::MinLogLevel(), obs::LogLevel::kInfo);
+}
+
+TEST_F(EnvInitTest, EmptyLogLevelKeepsDefault) {
+  setenv("MCOND_LOG_LEVEL", "", /*overwrite=*/1);
+  obs::InitObservabilityFromEnv();
+  EXPECT_EQ(obs::MinLogLevel(), obs::LogLevel::kInfo);
+}
+
+TEST_F(EnvInitTest, NegativeVlogClampsToZero) {
+  setenv("MCOND_VLOG", "-3", /*overwrite=*/1);
+  obs::InitObservabilityFromEnv();
+  EXPECT_EQ(obs::VerbosityLevel(), 0);
+}
+
+TEST_F(EnvInitTest, TraceZeroDisablesTracing) {
+  obs::EnableTracing(true);
+  setenv("MCOND_TRACE", "0", /*overwrite=*/1);
+  obs::InitObservabilityFromEnv();
+  EXPECT_FALSE(obs::TracingEnabled());
+}
+
+TEST_F(EnvInitTest, TraceOneEnablesTracing) {
+  setenv("MCOND_TRACE", "1", /*overwrite=*/1);
+  obs::InitObservabilityFromEnv();
+  EXPECT_TRUE(obs::TracingEnabled());
+}
+
+TEST_F(EnvInitTest, UnparseableTraceValueLeavesStateUntouched) {
+  obs::EnableTracing(true);
+  setenv("MCOND_TRACE", "yes", /*overwrite=*/1);
+  obs::InitObservabilityFromEnv();
+  EXPECT_TRUE(obs::TracingEnabled());  // "yes" is not an integer: no-op
+
+  obs::EnableTracing(false);
+  obs::InitObservabilityFromEnv();
+  EXPECT_FALSE(obs::TracingEnabled());
+}
+
+TEST_F(EnvInitTest, EmptyTraceValueLeavesStateUntouched) {
+  obs::EnableTracing(true);
+  setenv("MCOND_TRACE", "", /*overwrite=*/1);
+  obs::InitObservabilityFromEnv();
+  EXPECT_TRUE(obs::TracingEnabled());
+}
+
+// ---------------------------------------------------------------------------
+// MetricsExporter.
+
+std::vector<std::string> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(MetricsExporterTest, RejectsBadConfiguration) {
+  obs::MetricsExporterOptions bad_interval;
+  bad_interval.interval_ms = 0;
+  obs::MetricsExporter e1(bad_interval);
+  EXPECT_FALSE(e1.Start().ok());
+
+  obs::MetricsExporterOptions bad_path;
+  bad_path.jsonl_path = "no_such_dir/definitely/missing.jsonl";
+  obs::MetricsExporter e2(bad_path);
+  EXPECT_FALSE(e2.Start().ok());
+}
+
+TEST(MetricsExporterTest, StartTwiceFailsStopIsIdempotent) {
+  obs::MetricsExporterOptions options;
+  options.interval_ms = 50;
+  obs::MetricsExporter exporter(options);
+  ASSERT_TRUE(exporter.Start().ok());
+  EXPECT_FALSE(exporter.Start().ok());
+  exporter.Stop();
+  exporter.Stop();  // no-op
+  EXPECT_GE(exporter.ticks(), 1);  // the final Stop() tick at minimum
+}
+
+TEST(MetricsExporterTest, JsonlTimelineIsValidAndCarriesRates) {
+  const std::string path = "obs_exporter_test.jsonl";
+  obs::Counter& counter = obs::GetCounter("mcond.test.export_requests");
+  obs::Histogram& hist = obs::GetHistogram("mcond.test.export_lat_us");
+
+  std::vector<obs::MetricsTick> ticks;
+  std::mutex ticks_mu;
+  obs::MetricsExporterOptions options;
+  options.jsonl_path = path;
+  options.interval_ms = 5;
+  options.tick_sink = [&](const obs::MetricsTick& tick) {
+    std::lock_guard<std::mutex> lock(ticks_mu);
+    ticks.push_back(tick);
+  };
+  obs::MetricsExporter exporter(options);
+  ASSERT_TRUE(exporter.Start().ok());
+  // Concurrent updates while the exporter samples.
+  std::atomic<bool> stop{false};
+  std::thread load([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      counter.Increment();
+      hist.Record(100);
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  stop.store(true, std::memory_order_relaxed);
+  load.join();
+  exporter.Stop();
+
+  ASSERT_GE(exporter.ticks(), 2);
+  const std::vector<std::string> lines = ReadLines(path);
+  ASSERT_EQ(static_cast<int64_t>(lines.size()), exporter.ticks());
+  for (const std::string& line : lines) {
+    EXPECT_TRUE(JsonChecker(line).Valid()) << line;
+  }
+  EXPECT_NE(lines.back().find("\"mcond.test.export_requests\""),
+            std::string::npos);
+  EXPECT_NE(lines.back().find("\"interval_p50\""), std::string::npos);
+
+  // The ticks the sink saw: aligned name/rate vectors, a positive rate for
+  // the hot counter, and monotonically increasing indices.
+  std::lock_guard<std::mutex> lock(ticks_mu);
+  ASSERT_EQ(static_cast<int64_t>(ticks.size()), exporter.ticks());
+  double max_rate = 0.0;
+  for (size_t i = 0; i < ticks.size(); ++i) {
+    EXPECT_EQ(ticks[i].index, static_cast<int64_t>(i));
+    EXPECT_EQ(ticks[i].counter_rates.size(), ticks[i].snapshot.counters.size());
+    EXPECT_EQ(ticks[i].histogram_deltas.size(),
+              ticks[i].snapshot.histograms.size());
+    max_rate =
+        std::max(max_rate, ticks[i].CounterRate("mcond.test.export_requests"));
+  }
+  EXPECT_GT(max_rate, 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(MetricsExporterTest, PrometheusFileIsRewrittenEachTick) {
+  const std::string path = "obs_exporter_test.prom";
+  obs::GetCounter("mcond.test.export_prom").Increment();
+  obs::MetricsExporterOptions options;
+  options.prometheus_path = path;
+  options.interval_ms = 5;
+  obs::MetricsExporter exporter(options);
+  ASSERT_TRUE(exporter.Start().ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  exporter.Stop();
+  std::ostringstream content;
+  content << std::ifstream(path).rdbuf();
+  EXPECT_NE(content.str().find("# TYPE mcond_test_export_prom counter"),
+            std::string::npos);
+  std::remove(path.c_str());
 }
 
 }  // namespace

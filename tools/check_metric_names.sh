@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Enforces the metric naming convention at every registry call site:
+#
+#   mcond.<area>.<metric>[_<unit>]     e.g. mcond.server.queue_wait_us
+#
+# i.e. exactly three dot-separated segments, first one "mcond", the rest
+# lowercase [a-z0-9_]. Scans every GetCounter / GetGauge / GetHistogram /
+# GetSeries call in src/, tests/, bench/, tools/ and examples/:
+#
+#   - A call with a complete string literal is validated directly.
+#   - A call built from a runtime expression (concatenation, variable)
+#     must carry a `// metric-name: mcond.<area>.<tmpl>` annotation on the
+#     same line or one of the two lines above it; the template is
+#     validated with <placeholders> substituted by "0"
+#     (e.g. mcond.server.worker<i>_busy_ratio).
+#
+# src/obs/metrics.{h,cc} are excluded: they declare/implement the
+# registry itself, not call sites.
+#
+# Usage: check_metric_names.sh [repo_root]   (also run as a ctest entry)
+
+set -u
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+
+files=$(find "$root/src" "$root/tests" "$root/bench" "$root/tools" \
+             "$root/examples" -type f \( -name '*.cc' -o -name '*.h' \) \
+             2>/dev/null | grep -Ev 'src/obs/metrics\.(h|cc)$')
+
+# shellcheck disable=SC2086
+errors=$(awk '
+function valid(name) {
+  return name ~ /^mcond\.[a-z0-9_]+\.[a-z0-9_]+$/
+}
+FNR == 1 { prev1 = ""; prev2 = "" }
+/Get(Counter|Gauge|Histogram|Series)\(/ {
+  line = $0
+  # Declarations/forwarders of the accessors themselves are not call sites.
+  if (line ~ /Get(Counter|Gauge|Histogram|Series)\(const[ ]/) {
+    prev2 = prev1; prev1 = $0; next
+  }
+  if (match(line, /Get(Counter|Gauge|Histogram|Series)\("[^"]+"\)/)) {
+    lit = substr(line, RSTART, RLENGTH)
+    sub(/^[^"]*"/, "", lit); sub(/"\)$/, "", lit)
+    if (!valid(lit)) {
+      printf "%s:%d: metric name \"%s\" violates mcond.<area>.<metric>\n", \
+             FILENAME, FNR, lit
+    }
+  } else {
+    # Dynamic name: require a nearby metric-name annotation.
+    ctx = prev2 "\n" prev1 "\n" line
+    if (match(ctx, /\/\/ metric-name: [^ \n]+/)) {
+      tmpl = substr(ctx, RSTART, RLENGTH)
+      sub(/^\/\/ metric-name: /, "", tmpl)
+      gsub(/<[a-z0-9_]+>/, "0", tmpl)
+      if (!valid(tmpl)) {
+        printf "%s:%d: metric-name template violates mcond.<area>.<metric>\n", \
+               FILENAME, FNR
+      }
+    } else {
+      printf "%s:%d: dynamic metric name without a // metric-name: annotation\n", \
+             FILENAME, FNR
+    }
+  }
+}
+{ prev2 = prev1; prev1 = $0 }
+' $files)
+
+if [ -n "$errors" ]; then
+  echo "error: metric naming violations (convention: mcond.<area>.<metric>[_<unit>],"
+  echo "see docs/observability.md):"
+  echo "$errors"
+  exit 1
+fi
+echo "OK: all metric names follow mcond.<area>.<metric>"
+exit 0

@@ -23,6 +23,12 @@
 //   --log_level debug|info|warn|error|off   (default: MCOND_LOG_LEVEL)
 //   --trace_out trace.json    enable tracing, write Chrome trace JSON
 //   --metrics_out metrics.json  write a metrics-registry snapshot
+//   --metrics_prom_out metrics.prom  write a Prometheus text snapshot
+//   --metrics_export_path m.jsonl    live exporter: append one JSONL
+//                                    time-series line per interval
+//   --metrics_export_prom m.prom     live exporter: rewrite a Prometheus
+//                                    text file per interval
+//   --metrics_export_interval_ms N   exporter tick period (default 1000)
 //
 // Performance flags (docs/performance.md):
 //   --threads N    kernel thread-pool width (default: MCOND_NUM_THREADS,
@@ -34,6 +40,7 @@
 #include <cstring>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <numeric>
 #include <string>
 
@@ -317,7 +324,26 @@ bool SetupObservability(const Args& args) {
   return true;
 }
 
-/// Writes --trace_out / --metrics_out files after the command ran.
+/// Builds (but does not start) the live exporter when any of the
+/// --metrics_export_* flags are present. Returns nullptr when disabled.
+std::unique_ptr<obs::MetricsExporter> MakeMetricsExporter(const Args& args) {
+  obs::MetricsExporterOptions options;
+  options.jsonl_path = FlagOr(args, "metrics_export_path", "");
+  options.prometheus_path = FlagOr(args, "metrics_export_prom", "");
+  if (options.jsonl_path.empty() && options.prometheus_path.empty()) {
+    return nullptr;
+  }
+  try {
+    options.interval_ms =
+        std::stoi(FlagOr(args, "metrics_export_interval_ms", "1000"));
+  } catch (...) {
+    options.interval_ms = 0;  // Start() rejects it with a clear message.
+  }
+  return std::make_unique<obs::MetricsExporter>(options);
+}
+
+/// Writes --trace_out / --metrics_out / --metrics_prom_out files after the
+/// command ran.
 int ExportObservability(const Args& args, int command_rc) {
   const std::string trace_out = FlagOr(args, "trace_out", "");
   if (!trace_out.empty()) {
@@ -338,6 +364,15 @@ int ExportObservability(const Args& args, int command_rc) {
     }
     std::cout << "wrote metrics to " << metrics_out << "\n";
   }
+  const std::string prom_out = FlagOr(args, "metrics_prom_out", "");
+  if (!prom_out.empty()) {
+    const Status status = obs::WriteMetricsPrometheus(prom_out);
+    if (!status.ok()) {
+      std::cerr << status.ToString() << "\n";
+      return 1;
+    }
+    std::cout << "wrote prometheus metrics to " << prom_out << "\n";
+  }
   return command_rc;
 }
 
@@ -345,12 +380,22 @@ int Run(int argc, char** argv) {
   if (argc < 2) {
     std::cerr << "usage: mcond_cli <datasets|condense|inspect|serve> "
                  "[--log_level L] [--trace_out F] [--metrics_out F] "
+                 "[--metrics_prom_out F] [--metrics_export_path F] "
+                 "[--metrics_export_prom F] [--metrics_export_interval_ms N] "
                  "[--threads N] [flags]\n";
     return 1;
   }
   const std::string cmd = argv[1];
   const Args args = ParseArgs(argc, argv);
   if (!SetupObservability(args)) return 1;
+  std::unique_ptr<obs::MetricsExporter> exporter = MakeMetricsExporter(args);
+  if (exporter != nullptr) {
+    const Status status = exporter->Start();
+    if (!status.ok()) {
+      std::cerr << status.ToString() << "\n";
+      return 1;
+    }
+  }
   int rc;
   if (cmd == "datasets") {
     rc = CmdDatasets();
@@ -364,6 +409,9 @@ int Run(int argc, char** argv) {
     std::cerr << "unknown command: " << cmd << "\n";
     return 1;
   }
+  // Stop (final tick + join) before the one-shot exports so --metrics_out
+  // and the exporter's last line agree on the final counter values.
+  if (exporter != nullptr) exporter->Stop();
   return ExportObservability(args, rc);
 }
 
