@@ -7,19 +7,24 @@
 // Extra modes:
 //   bench_kernels --smoke
 //       Runs one fixed instance of each parallel kernel and prints a
-//       bit-level checksum per kernel. tools/check_determinism.sh diffs
-//       this output between MCOND_NUM_THREADS=1 and N to prove the
+//       bit-level checksum per kernel, pinned to the exact-oracle scalar
+//       SIMD tier unless MCOND_SIMD is set. tools/check_determinism.sh
+//       diffs this output between MCOND_NUM_THREADS=1 and N to prove the
 //       determinism contract end to end (docs/performance.md).
 //   BM_*Threads benchmarks sweep the pool width (the Arg is the thread
 //       count; 0 means the default width) for the speedup table in
 //       BENCH_kernels.json.
+//   BM_*Simd benchmarks sweep the SIMD tier (the Arg: 0 scalar, 1 avx2)
+//       for the scalar-vs-vector rows in BENCH_kernels.json.
 #include <benchmark/benchmark.h>
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "core/parallel.h"
+#include "core/simd.h"
 #include "core/tensor_ops.h"
 #include "data/synthetic.h"
 #include "graph/compose.h"
@@ -239,6 +244,104 @@ void BM_SoftmaxThreads(benchmark::State& state) {
 BENCHMARK(BM_SoftmaxThreads)->Arg(1)->Arg(0)->ArgNames({"threads"})
     ->Unit(benchmark::kMillisecond);
 
+// ---- SIMD tier sweeps (scalar vs AVX2 at a fixed pool width). ----
+//
+// The Arg is the tier (0 = scalar, 1 = avx2); avx2 variants skip with an
+// error note on hosts/builds without AVX2+FMA rather than aborting, so the
+// suite runs everywhere. Each benchmark restores the startup-resolved tier
+// on exit.
+
+bool EnterTier(benchmark::State& state) {
+  if (state.range(0) == 1 &&
+      !(simd::Avx2Compiled() && simd::CpuSupportsAvx2Fma())) {
+    state.SkipWithError("AVX2 tier unavailable on this host/build");
+    return false;
+  }
+  simd::SetTier(state.range(0) == 1 ? simd::Tier::kAvx2
+                                    : simd::Tier::kScalar);
+  return true;
+}
+
+void BM_GemmSimd(benchmark::State& state) {
+  const simd::Tier saved = simd::ActiveTier();
+  if (!EnterTier(state)) return;
+  Rng rng(21);
+  const Tensor a = rng.NormalTensor(1024, 1024);
+  const Tensor b = rng.NormalTensor(1024, 256);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * 1024 * 1024 * 256);
+  simd::SetTier(saved);
+}
+BENCHMARK(BM_GemmSimd)->Arg(0)->Arg(1)->ArgNames({"avx2"})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GemmTransBSimd(benchmark::State& state) {
+  // The autograd backward shape (grad · Wᵀ): dot-product form.
+  const simd::Tier saved = simd::ActiveTier();
+  if (!EnterTier(state)) return;
+  Rng rng(25);
+  const Tensor a = rng.NormalTensor(1024, 256);
+  const Tensor bt = rng.NormalTensor(1024, 256);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMulTransB(a, bt));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * 1024 * 256 * 1024);
+  simd::SetTier(saved);
+}
+BENCHMARK(BM_GemmTransBSimd)->Arg(0)->Arg(1)->ArgNames({"avx2"})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SpMMSimd(benchmark::State& state) {
+  const simd::Tier saved = simd::ActiveTier();
+  if (!EnterTier(state)) return;
+  SbmConfig config;
+  config.num_nodes = 16384;
+  config.num_classes = 8;
+  config.feature_dim = 128;
+  config.avg_degree = 50.0;
+  Rng rng(23);
+  Graph g = GenerateSbmGraph(config, rng);
+  const Tensor& x = g.features();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.normalized_adjacency().SpMM(x));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 *
+                          g.normalized_adjacency().Nnz() *
+                          config.feature_dim);
+  simd::SetTier(saved);
+}
+BENCHMARK(BM_SpMMSimd)->Arg(0)->Arg(1)->ArgNames({"avx2"})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SoftmaxSimd(benchmark::State& state) {
+  const simd::Tier saved = simd::ActiveTier();
+  if (!EnterTier(state)) return;
+  Rng rng(24);
+  const Tensor a = rng.NormalTensor(65536, 64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SoftmaxRows(a));
+  }
+  simd::SetTier(saved);
+}
+BENCHMARK(BM_SoftmaxSimd)->Arg(0)->Arg(1)->ArgNames({"avx2"})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ElementwiseSimd(benchmark::State& state) {
+  const simd::Tier saved = simd::ActiveTier();
+  if (!EnterTier(state)) return;
+  Rng rng(26);
+  const Tensor a = rng.NormalTensor(4096, 256);
+  const Tensor b = rng.NormalTensor(4096, 256);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Relu(Add(Mul(a, b), b)));
+  }
+  simd::SetTier(saved);
+}
+BENCHMARK(BM_ElementwiseSimd)->Arg(0)->Arg(1)->ArgNames({"avx2"})
+    ->Unit(benchmark::kMillisecond);
+
 // ---- Smoke / checksum mode. ----
 
 /// Order-independent-of-nothing checksum: folds the exact bit pattern of
@@ -266,7 +369,16 @@ uint64_t BitChecksum(const std::vector<float>& v) {
 }
 
 int RunSmoke() {
+  // Smoke digests are defined on the exact-oracle (scalar) tier: the AVX2
+  // GEMM/softmax kernels are tolerance-bounded, not bit-identical, so their
+  // checksums would differ per tier. An explicit MCOND_SIMD still wins —
+  // that is how the AVX2 tier's own cross-thread-count determinism is
+  // checked (MCOND_SIMD=avx2 tools/check_determinism.sh).
+  if (std::getenv("MCOND_SIMD") == nullptr) {
+    simd::SetTier(simd::Tier::kScalar);
+  }
   std::printf("threads %d\n", ThreadPool::Global().NumThreads());
+  std::printf("simd %s\n", simd::TierName(simd::ActiveTier()));
   Rng rng(99);
   const Tensor a = rng.NormalTensor(301, 257);
   const Tensor b = rng.NormalTensor(257, 129);
@@ -305,6 +417,16 @@ int main(int argc, char** argv) {
   }
   ::benchmark::Initialize(&argc, argv);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // Startup-resolved tier (MCOND_SIMD against the CPU probe) in the JSON
+  // context, next to num_cpus — BENCH_kernels.json rows depend on both.
+  ::benchmark::AddCustomContext(
+      "mcond_simd_tier",
+      mcond::simd::TierName(mcond::simd::ActiveTier()));
+  ::benchmark::AddCustomContext(
+      "mcond_simd_avx2_supported",
+      (mcond::simd::Avx2Compiled() && mcond::simd::CpuSupportsAvx2Fma())
+          ? "yes"
+          : "no");
   ::benchmark::RunSpecifiedBenchmarks();
   ::benchmark::Shutdown();
   return 0;

@@ -6,6 +6,8 @@
 
 #include "core/kernel_stats.h"
 #include "core/parallel.h"
+#include "core/simd.h"
+#include "core/simd_kernels.h"
 
 namespace mcond {
 
@@ -176,10 +178,19 @@ Tensor CsrMatrix::SpMM(const Tensor& x) const {
   MCOND_CHECK_EQ(cols_, x.rows()) << "SpMM shape mismatch";
   const int64_t d = x.cols();
   KernelScope scope("core.spmm", "mcond.kernel.spmm_us", 2 * Nnz() * d);
-  Tensor y(rows_, d);
+  // The AVX2 gather kernel is bit-identical to the scalar loop (ascending-k
+  // multiply-then-add) and writes every element of its rows, so the output
+  // may start uninitialized on that path.
+  const bool use_avx2 = simd::UseAvx2();
+  Tensor y = use_avx2 ? Tensor::Uninitialized(rows_, d) : Tensor(rows_, d);
   ParallelFor(
       0, rows_, SpmmGrain(rows_, Nnz(), d),
       [&](int64_t r0, int64_t r1) {
+        if (use_avx2) {
+          simd::Avx2SpmmRows(row_ptr_.data(), col_idx_.data(), values_.data(),
+                             x.data(), y.data(), d, r0, r1);
+          return;
+        }
         for (int64_t r = r0; r < r1; ++r) {
           float* yrow = y.RowData(r);
           for (int64_t k = row_ptr_[static_cast<size_t>(r)];
@@ -230,10 +241,18 @@ Tensor CsrMatrix::SpMMTransposed(const Tensor& x) const {
   const int64_t d = x.cols();
   KernelScope scope("core.spmm_t", "mcond.kernel.spmm_t_us", 2 * Nnz() * d);
   const TransposedView& tv = EnsureTransposedView();
-  Tensor y(cols_, d);
+  const bool use_avx2 = simd::UseAvx2();
+  Tensor y = use_avx2 ? Tensor::Uninitialized(cols_, d) : Tensor(cols_, d);
   ParallelFor(
       0, cols_, SpmmGrain(cols_, Nnz(), d),
       [&](int64_t c0, int64_t c1) {
+        if (use_avx2) {
+          // The CSC view is the same (ptr, idx, values) shape as CSR, so the
+          // row-gather kernel serves both orientations.
+          simd::Avx2SpmmRows(tv.col_ptr.data(), tv.src_row.data(),
+                             tv.values.data(), x.data(), y.data(), d, c0, c1);
+          return;
+        }
         for (int64_t c = c0; c < c1; ++c) {
           float* yrow = y.RowData(c);
           for (int64_t k = tv.col_ptr[static_cast<size_t>(c)];

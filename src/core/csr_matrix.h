@@ -115,7 +115,9 @@ class CsrMatrix {
 
   /// Y = this · X where X is dense. The core message-passing kernel.
   /// Row-parallel on the global thread pool; bit-identical to
-  /// SpMMSerial at every thread count.
+  /// SpMMSerial at every thread count ON EVERY SIMD tier — the AVX2
+  /// gather kernel preserves the ascending-k multiply-then-add order
+  /// exactly (core/simd.h).
   Tensor SpMM(const Tensor& x) const;
 
   /// Y = thisᵀ · X. Gather-parallel over OUTPUT rows via a lazily built

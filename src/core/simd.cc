@@ -1,0 +1,136 @@
+#include "core/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define MCOND_SIMD_X86 1
+#endif
+
+namespace mcond {
+namespace simd {
+
+namespace {
+
+constexpr int kTierUnresolved = -1;
+
+/// Resolved tier as an int so the unresolved sentinel fits; kScalar/kAvx2
+/// otherwise. Relaxed is fine: the value is write-once-then-stable except
+/// under explicit SetTier, and every transition is data-race-free.
+std::atomic<int> g_tier{kTierUnresolved};
+std::once_flag g_resolve_once;
+
+void PublishTier(Tier t) {
+  g_tier.store(static_cast<int>(t), std::memory_order_relaxed);
+  obs::GetGauge("mcond.simd.tier").Set(static_cast<double>(t));
+}
+
+void ResolveFromEnv() {
+  Request request = Request::kAuto;
+  const char* env = std::getenv("MCOND_SIMD");
+  if (env != nullptr && env[0] != '\0' && !ParseRequest(env, &request)) {
+    MCOND_LOG(WARNING) << "bad MCOND_SIMD '" << env
+                       << "' (want auto|avx2|scalar); using auto";
+    request = Request::kAuto;
+  }
+  const bool cpu = CpuSupportsAvx2Fma();
+  const bool compiled = Avx2Compiled();
+  const Tier tier = ResolveTier(request, cpu, compiled);
+  if (request == Request::kAvx2 && tier != Tier::kAvx2) {
+    MCOND_LOG(WARNING) << "MCOND_SIMD=avx2 requested but "
+                       << (compiled ? "CPU lacks AVX2/FMA"
+                                    : "AVX2 kernels not compiled in")
+                       << "; falling back to scalar";
+  }
+  PublishTier(tier);
+  MCOND_LOG(INFO) << "SIMD tier: " << TierName(tier) << " (cpu avx2+fma "
+                  << (cpu ? "yes" : "no") << ", compiled "
+                  << (compiled ? "yes" : "no") << ", request "
+                  << (request == Request::kAuto
+                          ? "auto"
+                          : (request == Request::kAvx2 ? "avx2" : "scalar"))
+                  << ")";
+}
+
+}  // namespace
+
+bool ParseRequest(const std::string& text, Request* out) {
+  if (text == "auto") {
+    *out = Request::kAuto;
+  } else if (text == "avx2") {
+    *out = Request::kAvx2;
+  } else if (text == "scalar") {
+    *out = Request::kScalar;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool CpuSupportsAvx2Fma() {
+#if defined(MCOND_SIMD_X86) && (defined(__GNUC__) || defined(__clang__))
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+bool Avx2Compiled() {
+#if defined(MCOND_SIMD_AVX2_COMPILED)
+  return true;
+#else
+  return false;
+#endif
+}
+
+Tier ResolveTier(Request request, bool cpu_supports, bool compiled) {
+  const bool avx2_ok = cpu_supports && compiled;
+  switch (request) {
+    case Request::kScalar:
+      return Tier::kScalar;
+    case Request::kAvx2:
+    case Request::kAuto:
+      return avx2_ok ? Tier::kAvx2 : Tier::kScalar;
+  }
+  return Tier::kScalar;
+}
+
+Tier ActiveTier() {
+  int t = g_tier.load(std::memory_order_relaxed);
+  if (t == kTierUnresolved) {
+    std::call_once(g_resolve_once, ResolveFromEnv);
+    t = g_tier.load(std::memory_order_relaxed);
+  }
+  return static_cast<Tier>(t);
+}
+
+void SetTier(Tier t) {
+  // Force env resolution first so the one-time INFO line reflects startup
+  // state, not a later override.
+  (void)ActiveTier();
+  PublishTier(t);
+}
+
+bool SetTierFromSpec(const std::string& spec) {
+  Request request;
+  if (!ParseRequest(spec, &request)) return false;
+  const Tier tier =
+      ResolveTier(request, CpuSupportsAvx2Fma(), Avx2Compiled());
+  if (request == Request::kAvx2 && tier != Tier::kAvx2) {
+    MCOND_LOG(WARNING)
+        << "--simd avx2 requested but unsupported; falling back to scalar";
+  }
+  SetTier(tier);
+  return true;
+}
+
+const char* TierName(Tier t) {
+  return t == Tier::kAvx2 ? "avx2" : "scalar";
+}
+
+}  // namespace simd
+}  // namespace mcond

@@ -5,6 +5,8 @@
 
 #include "core/kernel_stats.h"
 #include "core/parallel.h"
+#include "core/simd.h"
+#include "core/simd_kernels.h"
 
 namespace mcond {
 
@@ -28,10 +30,19 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   MCOND_CHECK_EQ(a.cols(), b.rows()) << "MatMul shape mismatch";
   const int64_t m = a.rows(), k = a.cols(), n = b.cols();
   KernelScope scope("core.matmul", "mcond.kernel.matmul_us", 2 * m * k * n);
-  Tensor c(m, n);  // Zeroed: rows accumulate across k-tiles.
+  // SIMD tier captured once per call: the AVX2 microkernel overwrites its
+  // rows (register accumulation over the whole k range), so it takes an
+  // uninitialized output; the scalar path accumulates across k-tiles and
+  // needs zeros.
+  const bool use_avx2 = simd::UseAvx2();
+  Tensor c = use_avx2 ? Tensor::Uninitialized(m, n) : Tensor(m, n);
   ParallelFor(
       0, m, GrainFromCost(2 * k * n),
       [&](int64_t i0, int64_t i1) {
+        if (use_avx2) {
+          simd::Avx2GemmRows(a.data(), b.data(), c.data(), k, n, i0, i1);
+          return;
+        }
         // k-tiles ascend in the outermost loop so every element still
         // accumulates its products in ascending-k order (bit-exact with
         // serial::MatMul); the j-tile keeps the B panel L2-resident.
@@ -60,7 +71,9 @@ Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
   const int64_t m = a.rows(), k = a.cols(), n = b.cols();
   KernelScope scope("core.matmul_ta", "mcond.kernel.matmul_ta_us",
                     2 * m * k * n);
-  Tensor c(k, n);  // Zeroed: rows accumulate across input-row tiles.
+  const bool use_avx2 = simd::UseAvx2();
+  Tensor c = use_avx2 ? Tensor::Uninitialized(k, n)
+                      : Tensor(k, n);  // Scalar accumulates across i-tiles.
   // c[p][j] += a[i][p] * b[i][j]. The serial scatter form writes all
   // output rows while walking input rows, so parallelism goes over output
   // rows p instead: no write races, and each element keeps the serial
@@ -68,6 +81,11 @@ Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
   ParallelFor(
       0, k, GrainFromCost(2 * m * n),
       [&](int64_t p0, int64_t p1) {
+        if (use_avx2) {
+          simd::Avx2GemmTransACols(a.data(), b.data(), c.data(), m, k, n, p0,
+                                   p1);
+          return;
+        }
         for (int64_t it = 0; it < m; it += kIc) {
           const int64_t it_end = std::min(m, it + kIc);
           for (int64_t jt = 0; jt < n; jt += kJc) {
@@ -93,9 +111,15 @@ Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
   KernelScope scope("core.matmul_tb", "mcond.kernel.matmul_tb_us",
                     2 * m * k * n);
   Tensor c = Tensor::Uninitialized(m, n);  // Every element written once.
+  const bool use_avx2 = simd::UseAvx2();
   ParallelFor(
       0, m, GrainFromCost(2 * k * n),
       [&](int64_t i0, int64_t i1) {
+        if (use_avx2) {
+          simd::Avx2GemmTransBRows(a.data(), b.data(), c.data(), k, n, i0,
+                                   i1);
+          return;
+        }
         for (int64_t jt = 0; jt < n; jt += kKc) {
           const int64_t jt_end = std::min(n, jt + kKc);
           for (int64_t i = i0; i < i1; ++i) {
@@ -187,14 +211,26 @@ Tensor SoftmaxRows(const Tensor& a) {
 
 namespace {
 
+/// Vectorized chunk bodies for the flat elementwise loops. The AVX2
+/// kernels are exact (independent lanes, identical per-element ops), so
+/// dispatching per chunk preserves the bit-identity contract; nullptr
+/// means the op has no vector form and always runs the scalar lambda.
+using UnaryKernel = void (*)(const float*, float*, int64_t);
+using BinaryKernel = void (*)(const float*, const float*, float*, int64_t);
+
 template <typename F>
-Tensor Elementwise(const Tensor& a, F f) {
+Tensor Elementwise(const Tensor& a, F f, UnaryKernel vk = nullptr) {
   Tensor out = Tensor::Uninitialized(a.rows(), a.cols());
   const float* src = a.data();
   float* dst = out.data();
+  const bool use_simd = vk != nullptr && simd::UseAvx2();
   ParallelFor(
       0, a.size(), kElemGrain,
       [&](int64_t b, int64_t e) {
+        if (use_simd) {
+          vk(src + b, dst + b, e - b);
+          return;
+        }
         for (int64_t i = b; i < e; ++i) dst[i] = f(src[i]);
       },
       "core.elementwise");
@@ -202,7 +238,8 @@ Tensor Elementwise(const Tensor& a, F f) {
 }
 
 template <typename F>
-Tensor Binary(const Tensor& a, const Tensor& b, F f) {
+Tensor Binary(const Tensor& a, const Tensor& b, F f,
+              BinaryKernel vk = nullptr) {
   MCOND_CHECK(a.SameShape(b)) << "shape mismatch " << a.rows() << "x"
                               << a.cols() << " vs " << b.rows() << "x"
                               << b.cols();
@@ -210,9 +247,14 @@ Tensor Binary(const Tensor& a, const Tensor& b, F f) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* dst = out.data();
+  const bool use_simd = vk != nullptr && simd::UseAvx2();
   ParallelFor(
       0, a.size(), kElemGrain,
       [&](int64_t begin, int64_t end) {
+        if (use_simd) {
+          vk(pa + begin, pb + begin, dst + begin, end - begin);
+          return;
+        }
         for (int64_t i = begin; i < end; ++i) dst[i] = f(pa[i], pb[i]);
       },
       "core.elementwise");
@@ -222,28 +264,47 @@ Tensor Binary(const Tensor& a, const Tensor& b, F f) {
 }  // namespace
 
 Tensor Add(const Tensor& a, const Tensor& b) {
-  return Binary(a, b, [](float x, float y) { return x + y; });
+  return Binary(a, b, [](float x, float y) { return x + y; }, simd::Avx2Add);
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
-  return Binary(a, b, [](float x, float y) { return x - y; });
+  return Binary(a, b, [](float x, float y) { return x - y; }, simd::Avx2Sub);
 }
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
-  return Binary(a, b, [](float x, float y) { return x * y; });
+  return Binary(a, b, [](float x, float y) { return x * y; }, simd::Avx2MulEw);
 }
 
 Tensor Scale(const Tensor& a, float s) {
-  return Elementwise(a, [s](float x) { return s * x; });
+  const bool use_avx2 = simd::UseAvx2();
+  Tensor out = Tensor::Uninitialized(a.rows(), a.cols());
+  const float* src = a.data();
+  float* dst = out.data();
+  ParallelFor(
+      0, a.size(), kElemGrain,
+      [&](int64_t b, int64_t e) {
+        if (use_avx2) {
+          simd::Avx2Scale(src + b, s, dst + b, e - b);
+          return;
+        }
+        for (int64_t i = b; i < e; ++i) dst[i] = s * src[i];
+      },
+      "core.elementwise");
+  return out;
 }
 
 void AxpyInPlace(Tensor& a, float s, const Tensor& b) {
   MCOND_CHECK(a.SameShape(b)) << "AxpyInPlace shape mismatch";
+  const bool use_avx2 = simd::UseAvx2();
   float* pa = a.data();
   const float* pb = b.data();
   ParallelFor(
       0, a.size(), kElemGrain,
       [&](int64_t begin, int64_t end) {
+        if (use_avx2) {
+          simd::Avx2Axpy(pa + begin, s, pb + begin, end - begin);
+          return;
+        }
         for (int64_t i = begin; i < end; ++i) pa[i] += s * pb[i];
       },
       "core.axpy");
@@ -252,6 +313,7 @@ void AxpyInPlace(Tensor& a, float s, const Tensor& b) {
 Tensor AddRowBroadcast(const Tensor& a, const Tensor& row) {
   MCOND_CHECK_EQ(row.rows(), 1);
   MCOND_CHECK_EQ(row.cols(), a.cols());
+  const bool use_avx2 = simd::UseAvx2();
   Tensor out = a;
   const float* r = row.data();
   ParallelFor(
@@ -259,6 +321,10 @@ Tensor AddRowBroadcast(const Tensor& a, const Tensor& row) {
       [&](int64_t i0, int64_t i1) {
         for (int64_t i = i0; i < i1; ++i) {
           float* orow = out.RowData(i);
+          if (use_avx2) {
+            simd::Avx2AddRowInPlace(orow, r, a.cols());
+            continue;
+          }
           for (int64_t j = 0; j < a.cols(); ++j) orow[j] += r[j];
         }
       },
@@ -282,12 +348,14 @@ Tensor Transpose(const Tensor& a) {
 }
 
 Tensor Relu(const Tensor& a) {
-  return Elementwise(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+  return Elementwise(a, [](float x) { return x > 0.0f ? x : 0.0f; },
+                     simd::Avx2Relu);
 }
 
 Tensor ReluMask(const Tensor& pre_activation) {
   return Elementwise(pre_activation,
-                     [](float x) { return x > 0.0f ? 1.0f : 0.0f; });
+                     [](float x) { return x > 0.0f ? 1.0f : 0.0f; },
+                     simd::Avx2ReluMask);
 }
 
 Tensor Sigmoid(const Tensor& a) {
@@ -316,11 +384,16 @@ Tensor Abs(const Tensor& a) {
 }
 
 Tensor SoftmaxRows(const Tensor& a) {
+  const bool use_avx2 = simd::UseAvx2();
   Tensor out = Tensor::Uninitialized(a.rows(), a.cols());
   const int64_t cols = a.cols();
   ParallelFor(
       0, a.rows(), GrainFromCost(4 * cols),
       [&](int64_t i0, int64_t i1) {
+        if (use_avx2) {
+          simd::Avx2SoftmaxRows(a.data(), out.data(), cols, i0, i1);
+          return;
+        }
         for (int64_t i = i0; i < i1; ++i) {
           const float* src = a.RowData(i);
           float* dst = out.RowData(i);

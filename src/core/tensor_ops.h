@@ -12,27 +12,36 @@ namespace mcond {
 /// compatibility — passing mismatched shapes is a programming error, not a
 /// recoverable condition. Functions are pure (return a new tensor) unless
 /// named *InPlace.
+///
+/// Kernels dispatch through the runtime SIMD tier (core/simd.h). On the
+/// scalar tier every parallel kernel is bit-identical to its serial::
+/// reference; on the AVX2 tier the GEMM family and SoftmaxRows are
+/// tolerance-bounded instead (FMA + lane reductions), while all
+/// elementwise ops stay bit-identical. Within any one tier, results are
+/// bit-identical at every thread count.
 
 /// C = A · B. Cache-blocked (depth × column tiles) and row-parallel on the
 /// global thread pool. Bit-identical to serial::MatMul at every thread
-/// count: each output row is produced by exactly one chunk and every
-/// element accumulates its k-products in ascending order.
+/// count on the scalar tier: each output row is produced by exactly one
+/// chunk and every element accumulates its k-products in ascending order.
 Tensor MatMul(const Tensor& a, const Tensor& b);
 
 /// C = Aᵀ · B without materializing the transpose. Parallel over OUTPUT
 /// rows (columns of A) with input-row tiling — the scatter formulation
 /// writes output rows across input rows and would race under naive
-/// row-parallelism. Bit-identical to serial::MatMulTransA.
+/// row-parallelism. Bit-identical to serial::MatMulTransA on the scalar
+/// tier.
 Tensor MatMulTransA(const Tensor& a, const Tensor& b);
 
 /// C = A · Bᵀ without materializing the transpose. Row-parallel, blocked
-/// over B rows. Bit-identical to serial::MatMulTransB.
+/// over B rows. Bit-identical to serial::MatMulTransB on the scalar tier.
 Tensor MatMulTransB(const Tensor& a, const Tensor& b);
 
-/// Retained single-threaded reference kernels. These are the semantic
-/// ground truth the parallel kernels are tested bit-exact against
-/// (tests/parallel_test.cc, tools/check_determinism.sh); they are also the
-/// serial baseline bench_kernels sweeps against. Note no `x == 0` skip:
+/// Retained single-threaded reference kernels — the exactness oracle. The
+/// parallel kernels are tested bit-exact against these on the scalar SIMD
+/// tier (tests/parallel_test.cc, tools/check_determinism.sh) and
+/// tolerance-bounded on the AVX2 tier (tests/simd_test.cc); they are also
+/// the serial baseline bench_kernels sweeps against. Note no `x == 0` skip:
 /// 0 * inf and 0 * nan must propagate, and the branch mispredicts on
 /// dense data (see docs/performance.md).
 namespace serial {

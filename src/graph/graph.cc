@@ -5,6 +5,8 @@
 #include <unordered_map>
 
 #include "core/parallel.h"
+#include "core/simd.h"
+#include "core/simd_kernels.h"
 #include "core/tensor_ops.h"
 #include "obs/trace.h"
 
@@ -42,10 +44,18 @@ CsrMatrix SymNormalize(const CsrMatrix& a, bool add_self_loops) {
   const std::vector<int32_t>& ci = tilde.col_idx();
   const std::vector<float>& v = tilde.values();
   std::vector<float> vals(static_cast<size_t>(tilde.Nnz()));
+  const bool use_avx2 = simd::UseAvx2();
   ParallelFor(
       0, tilde.rows(),
       GrainFromCost(2 * (tilde.Nnz() / std::max<int64_t>(tilde.rows(), 1) + 1)),
       [&](int64_t r0, int64_t r1) {
+        if (use_avx2) {
+          // Bit-identical to the loop below: same (v·dr)·dinv[col]
+          // association, vector gather on the column factor.
+          simd::Avx2SymNormalizeRows(rp.data(), ci.data(), v.data(),
+                                     dinv_sqrt.data(), vals.data(), r0, r1);
+          return;
+        }
         for (int64_t r = r0; r < r1; ++r) {
           const float dr = dinv_sqrt[static_cast<size_t>(r)];
           for (int64_t k = rp[static_cast<size_t>(r)];
@@ -96,11 +106,17 @@ CsrMatrix RowNormalize(const CsrMatrix& a) {
       0, a.rows(),
       GrainFromCost(a.Nnz() / std::max<int64_t>(a.rows(), 1) + 1),
       [&](int64_t r0, int64_t r1) {
+        const bool use_avx2 = simd::UseAvx2();
         for (int64_t r = r0; r < r1; ++r) {
           const float d = deg[static_cast<size_t>(r)];
           const float inv = d != 0.0f ? 1.0f / d : 0.0f;
-          for (int64_t k = rp[static_cast<size_t>(r)];
-               k < rp[static_cast<size_t>(r) + 1]; ++k) {
+          const int64_t b = rp[static_cast<size_t>(r)];
+          const int64_t e = rp[static_cast<size_t>(r) + 1];
+          if (use_avx2) {
+            simd::Avx2Scale(v.data() + b, inv, vals.data() + b, e - b);
+            continue;
+          }
+          for (int64_t k = b; k < e; ++k) {
             vals[static_cast<size_t>(k)] = v[static_cast<size_t>(k)] * inv;
           }
         }

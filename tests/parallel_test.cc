@@ -16,6 +16,7 @@
 #include "core/csr_matrix.h"
 #include "core/parallel.h"
 #include "core/rng.h"
+#include "core/simd.h"
 #include "core/tensor_ops.h"
 #include "graph/graph.h"
 
@@ -44,11 +45,26 @@ namespace {
 }
 
 /// Restores the pool width after each test so order doesn't matter.
+///
+/// Pins the scalar SIMD tier for the duration: these tests compare the
+/// parallel kernels against the single-threaded serial:: oracles, and that
+/// comparison is only bit-exact on the scalar tier (the AVX2 GEMM/softmax
+/// kernels use FMA and lane reductions — tolerance-bounded, covered by
+/// simd_test). Cross-THREAD-count bit-identity within the AVX2 tier is
+/// exercised separately below in SimdTierThreadCountsAgree.
 class ParallelTest : public ::testing::Test {
  protected:
+  void SetUp() override {
+    saved_tier_ = simd::ActiveTier();
+    simd::SetTier(simd::Tier::kScalar);
+  }
   void TearDown() override {
+    simd::SetTier(saved_tier_);
     ThreadPool::Global().SetNumThreads(ThreadPool::DefaultNumThreads());
   }
+
+ private:
+  simd::Tier saved_tier_;
 };
 
 const int kThreadCounts[] = {1, 3, 16};
@@ -337,6 +353,33 @@ TEST_F(ParallelTest, GrainFromCostScalesInversely) {
   EXPECT_GE(GrainFromCost(1), GrainFromCost(1000));
   EXPECT_GE(GrainFromCost(1000), 1);
   EXPECT_EQ(GrainFromCost(int64_t{1} << 16), 1);
+}
+
+// The determinism contract holds WITHIN the AVX2 tier too: chunk boundaries
+// move with the thread count, but every output row's instruction sequence is
+// a pure function of the row, so results are bit-identical across thread
+// counts (just not vs the scalar oracle — that part is tolerance-bounded,
+// see simd_test).
+TEST_F(ParallelTest, SimdTierThreadCountsAgree) {
+  if (!simd::Avx2Compiled() || !simd::CpuSupportsAvx2Fma()) {
+    GTEST_SKIP() << "AVX2 tier unavailable on this build/host";
+  }
+  simd::SetTier(simd::Tier::kAvx2);
+  Rng rng(23);
+  for (const GemmShape& s : kGemmShapes) {
+    const Tensor a = rng.NormalTensor(s.m, s.k);
+    const Tensor b = rng.NormalTensor(s.k, s.n);
+    ThreadPool::Global().SetNumThreads(1);
+    const Tensor ref_mm = MatMul(a, b);
+    const Tensor ref_sm = SoftmaxRows(a);
+    for (int t : kThreadCounts) {
+      ThreadPool::Global().SetNumThreads(t);
+      EXPECT_TRUE(BitEqual(MatMul(a, b), ref_mm))
+          << "shape " << s.m << "x" << s.k << "x" << s.n << " threads " << t;
+      EXPECT_TRUE(BitEqual(SoftmaxRows(a), ref_sm))
+          << "softmax rows " << s.m << " cols " << s.k << " threads " << t;
+    }
+  }
 }
 
 }  // namespace

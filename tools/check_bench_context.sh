@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Sanity-checks the checked-in bench baseline context (BENCH_*.json)
+# against the current host: a baseline captured on a different CPU count
+# is not comparable to numbers measured here (thread-sweep rows measure
+# dispatch overhead vs real scaling), and should be re-recorded before
+# being quoted.
+#
+# This is a WARNING lint: mismatches print a clear note but exit 0 —
+# baselines are recorded on dedicated hosts, and failing every dev/CI
+# checkout with different hardware would just teach people to ignore the
+# suite. It exits non-zero only when a BENCH json exists but its context
+# is unreadable (missing num_cpus), which means the file is malformed.
+#
+# Usage: check_bench_context.sh [repo_root]   (also run as a ctest entry)
+
+set -u
+
+root="${1:-$(cd "$(dirname "$0")/.." && pwd)}"
+
+host_cpus=$(getconf _NPROCESSORS_ONLN 2>/dev/null || nproc 2>/dev/null || echo 0)
+
+status=0
+found=0
+for f in "$root"/BENCH_*.json; do
+  [ -e "$f" ] || continue
+  found=1
+  # "num_cpus": N — the google-benchmark context field all baselines carry.
+  bench_cpus=$(sed -n 's/.*"num_cpus"[[:space:]]*:[[:space:]]*\([0-9][0-9]*\).*/\1/p' "$f" | head -1)
+  if [ -z "$bench_cpus" ]; then
+    echo "error: $(basename "$f") has no \"num_cpus\" context field (malformed baseline?)"
+    status=1
+    continue
+  fi
+  if [ "$bench_cpus" != "$host_cpus" ]; then
+    echo "warning: $(basename "$f") was captured with num_cpus=$bench_cpus but this host has $host_cpus;"
+    echo "         its rows are not comparable to local measurements — re-record before quoting"
+    echo "         (see docs/performance.md, 'Measuring')."
+  else
+    echo "OK: $(basename "$f") num_cpus=$bench_cpus matches this host"
+  fi
+done
+
+if [ "$found" = 0 ]; then
+  echo "OK: no BENCH_*.json baselines to check"
+fi
+exit "$status"

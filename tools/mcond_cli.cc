@@ -34,6 +34,11 @@
 //   --threads N    kernel thread-pool width (default: MCOND_NUM_THREADS,
 //                  else hardware concurrency); results are identical at
 //                  every setting
+//   --simd auto|avx2|scalar   kernel SIMD tier (default: MCOND_SIMD, else
+//                  auto). avx2 downgrades to scalar with a warning when the
+//                  host or build lacks AVX2+FMA. The selected tier is
+//                  reported at startup (INFO log + mcond.simd.tier gauge,
+//                  visible in --metrics_out snapshots).
 //
 // Exit code 0 on success; errors print a Status message to stderr.
 
@@ -47,6 +52,7 @@
 #include "condense/artifact_io.h"
 #include "condense/mcond.h"
 #include "core/parallel.h"
+#include "core/simd.h"
 #include "data/datasets.h"
 #include "eval/batching.h"
 #include "eval/inference.h"
@@ -321,6 +327,19 @@ bool SetupObservability(const Args& args) {
     }
     ThreadPool::Global().SetNumThreads(threads);
   }
+  const std::string simd_text = FlagOr(args, "simd", "");
+  if (!simd_text.empty()) {
+    if (!simd::SetTierFromSpec(simd_text)) {
+      std::cerr << "bad --simd '" << simd_text
+                << "' (want auto|avx2|scalar)\n";
+      return false;
+    }
+  } else {
+    // Resolve MCOND_SIMD now so the one INFO line and the mcond.simd.tier
+    // gauge land at startup (and in --metrics_out snapshots) instead of at
+    // the first kernel call.
+    (void)simd::ActiveTier();
+  }
   return true;
 }
 
@@ -382,7 +401,7 @@ int Run(int argc, char** argv) {
                  "[--log_level L] [--trace_out F] [--metrics_out F] "
                  "[--metrics_prom_out F] [--metrics_export_path F] "
                  "[--metrics_export_prom F] [--metrics_export_interval_ms N] "
-                 "[--threads N] [flags]\n";
+                 "[--threads N] [--simd auto|avx2|scalar] [flags]\n";
     return 1;
   }
   const std::string cmd = argv[1];
