@@ -1,0 +1,370 @@
+// Out-of-core condensation at scale: generates a multi-million-node DC-SBM
+// graph (reddit-xl-sim) straight into the sharded segment store and runs a
+// GCond-mode condense round under an explicit memory budget, reporting
+// nodes/sec and the kernel-maintained peak RSS against the footprint the
+// resident-CSR path would have needed (docs/performance.md, "Out-of-core
+// condensation").
+//
+// Modes:
+//   bench_condense_scale --smoke
+//       Prints resident_<tag> / streamed_<tag> bit-level digest pairs for
+//       every streamed kernel plus one full condense round on a small graph
+//       forced into >= 4 segments. tools/check_determinism.sh diffs the
+//       output between MCOND_NUM_THREADS=1 and N and pair-checks each
+//       streamed digest against its resident twin.
+//   bench_condense_scale --one <nodes> <budget_mb>
+//       Runs one generate+condense at the given budget in THIS process and
+//       prints a single machine-readable ROW line. Peak RSS (VmHWM) is
+//       monotone per process, so --json runs each budget in a child.
+//   bench_condense_scale --json [nodes]
+//       Spawns --one for budgets {unbounded, 512, 128} and emits the
+//       BENCH_condense.json document on stdout.
+#include <unistd.h>
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "condense/mcond.h"
+#include "core/parallel.h"
+#include "core/simd.h"
+#include "core/tensor_ops.h"
+#include "data/synthetic.h"
+#include "graph/inductive.h"
+#include "graph/sharded_ops.h"
+#include "obs/resource.h"
+
+namespace mcond {
+namespace {
+
+// FNV-1a over raw float bit patterns: any single-ULP difference between the
+// resident and streamed paths flips the digest.
+void HashBits(uint64_t* h, const float* data, int64_t count) {
+  for (int64_t i = 0; i < count; ++i) {
+    uint32_t bits;
+    std::memcpy(&bits, &data[i], sizeof(bits));
+    for (int b = 0; b < 4; ++b) {
+      *h ^= (bits >> (8 * b)) & 0xffu;
+      *h *= 1099511628211ull;
+    }
+  }
+}
+
+uint64_t BitChecksum(const Tensor& t) {
+  uint64_t h = 1469598103934665603ull;
+  HashBits(&h, t.data(), t.size());
+  return h;
+}
+
+uint64_t BitChecksum(const std::vector<float>& v) {
+  uint64_t h = 1469598103934665603ull;
+  HashBits(&h, v.data(), static_cast<int64_t>(v.size()));
+  return h;
+}
+
+uint64_t CondenseDigest(const MCondResult& r) {
+  uint64_t h = 1469598103934665603ull;
+  HashBits(&h, r.synthetic_features.data(), r.synthetic_features.size());
+  HashBits(&h, r.dense_adjacency.data(), r.dense_adjacency.size());
+  HashBits(&h, r.s_loss_history.data(),
+           static_cast<int64_t>(r.s_loss_history.size()));
+  return h;
+}
+
+std::string ScratchDir(const std::string& tag) {
+  return (std::filesystem::temp_directory_path() /
+          ("mcond_condense_scale_" + tag + "_" + std::to_string(::getpid())))
+      .string();
+}
+
+// ---------------------------------------------------------------------------
+// --smoke: streamed-vs-resident digest pairs for check_determinism.sh.
+// ---------------------------------------------------------------------------
+
+int RunSmoke() {
+  // Same contract as bench_kernels --smoke: digests are defined on the
+  // exact-oracle scalar tier unless an explicit MCOND_SIMD asks for the
+  // vector tier's own cross-width check.
+  if (std::getenv("MCOND_SIMD") == nullptr) {
+    simd::SetTier(simd::Tier::kScalar);
+  }
+  std::printf("threads %d\n", ThreadPool::Global().NumThreads());
+  std::printf("simd %s\n", simd::TierName(simd::ActiveTier()));
+
+  SbmConfig config;
+  config.num_nodes = 140;
+  config.num_classes = 3;
+  config.feature_dim = 12;
+  config.avg_degree = 6.0;
+  Rng rng(21);
+  const Graph full = GenerateSbmGraph(config, rng);
+  InductiveDataset split = MakeInductiveSplit(full, 0.15, 0.15, rng);
+  const Graph& train = split.train_graph;
+
+  const std::string dir = ScratchDir("smoke");
+  ShardOptions options;
+  options.max_rows_per_segment = std::max<int64_t>(1, train.NumNodes() / 4);
+  StatusOr<ShardedGraph> sharded =
+      ShardGraph(train, dir, options, /*mem_budget_bytes=*/4096);
+  if (!sharded.ok()) {
+    std::fprintf(stderr, "shard: %s\n", sharded.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("resident_sym_normalize %016" PRIx64 "\n",
+              BitChecksum(train.normalized_adjacency().values()));
+  std::printf("streamed_sym_normalize %016" PRIx64 "\n",
+              [&] {
+                uint64_t h = 1469598103934665603ull;
+                const ShardedCsr& norm = *sharded.value().normalized;
+                for (int64_t s = 0; s < norm.NumSegments(); ++s) {
+                  StatusOr<PinnedSegment> pin = norm.Pin(s);
+                  MCOND_CHECK(pin.ok());
+                  HashBits(&h, pin.value().values(), pin.value().view().nnz);
+                }
+                return h;
+              }());
+
+  std::printf("resident_spmm %016" PRIx64 "\n",
+              BitChecksum(train.normalized_adjacency().SpMM(train.features())));
+  StatusOr<Tensor> spmm =
+      ShardedSpMM(*sharded.value().normalized, train.features());
+  MCOND_CHECK(spmm.ok());
+  std::printf("streamed_spmm %016" PRIx64 "\n", BitChecksum(spmm.value()));
+
+  std::printf("resident_rowsums %016" PRIx64 "\n",
+              BitChecksum(train.adjacency().RowSums()));
+  StatusOr<std::vector<float>> sums = ShardedRowSums(*sharded.value().adjacency);
+  MCOND_CHECK(sums.ok());
+  std::printf("streamed_rowsums %016" PRIx64 "\n", BitChecksum(sums.value()));
+
+  const std::vector<int64_t> keep = train.LabeledNodes();
+  Tensor prop = train.features();
+  for (int i = 0; i < 2; ++i) prop = train.normalized_adjacency().SpMM(prop);
+  std::printf("resident_propagate %016" PRIx64 "\n",
+              BitChecksum(GatherRows(prop, keep)));
+  StatusOr<Tensor> sprop =
+      ShardedPropagate(*sharded.value().normalized, train.features(), 2, keep);
+  MCOND_CHECK(sprop.ok());
+  std::printf("streamed_propagate %016" PRIx64 "\n",
+              BitChecksum(sprop.value()));
+
+  MCondConfig mc;
+  mc.outer_rounds = 1;
+  mc.s_steps_per_round = 2;
+  mc.m_steps_per_round = 2;
+  mc.relay_refinement_steps = 2;
+  mc.edge_batch = 16;
+  std::printf("resident_condense %016" PRIx64 "\n",
+              CondenseDigest(RunMCond(train, split.val, 9, mc, 77)));
+  std::printf("streamed_condense %016" PRIx64 "\n",
+              CondenseDigest(RunMCondSharded(sharded.value(), split.val, 9,
+                                             mc, 77)));
+
+  sharded = ShardedGraph{};  // Close stores before removing the directory.
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// --one: one budgeted generate+condense in this process (clean VmHWM).
+// ---------------------------------------------------------------------------
+
+// reddit-xl-sim: million-node scale with Reddit-like density so the segment
+// store, not the resident feature matrix, dominates the footprint.
+SbmConfig XlConfig(int64_t nodes) {
+  SbmConfig config;
+  config.num_nodes = nodes;
+  config.num_classes = 8;
+  config.feature_dim = 16;
+  config.avg_degree = 96.0;
+  config.label_rate = 0.1;
+  return config;
+}
+
+// A small synthetic held-out batch: RunMCondSharded requires one, but the
+// GCond-mode (learn_mapping=false) XL run never composes it.
+HeldOutBatch MakeSupportBatch(int64_t n_orig, int64_t num_classes,
+                              int64_t dim, Rng& rng) {
+  HeldOutBatch batch;
+  const int64_t n_sup = 64;
+  batch.features = rng.NormalTensor(n_sup, dim);
+  std::vector<Triplet> links, inter;
+  for (int64_t i = 0; i < n_sup; ++i) {
+    batch.labels.push_back(
+        static_cast<int64_t>(rng.Uniform(0.0f, 1.0f) * num_classes) %
+        num_classes);
+    for (int k = 0; k < 4; ++k) {
+      links.push_back(
+          {i, static_cast<int64_t>(rng.Uniform(0.0f, 1.0f) * n_orig) % n_orig,
+           1.0f});
+    }
+    if (i + 1 < n_sup) {
+      inter.push_back({i, i + 1, 1.0f});
+      inter.push_back({i + 1, i, 1.0f});
+    }
+  }
+  batch.links = CsrMatrix::FromTriplets(n_sup, n_orig, links);
+  batch.inter = CsrMatrix::FromTriplets(n_sup, n_sup, inter);
+  return batch;
+}
+
+int RunOne(int64_t nodes, int64_t budget_mb) {
+  const SbmConfig config = XlConfig(nodes);
+  const std::string dir = ScratchDir("b" + std::to_string(budget_mb));
+  const int64_t budget_bytes = budget_mb << 20;
+
+  Rng rng(17);
+  const auto t0 = std::chrono::steady_clock::now();
+  StatusOr<ShardedGraph> graph =
+      GenerateSbmGraphSharded(config, rng, dir, ShardOptions(), budget_bytes);
+  if (!graph.ok()) {
+    std::fprintf(stderr, "generate: %s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  Rng sup_rng(5);
+  const HeldOutBatch support =
+      MakeSupportBatch(nodes, config.num_classes, config.feature_dim, sup_rng);
+
+  MCondConfig mc;
+  mc.learn_mapping = false;  // GCond mode: no N x N' mapping state at XL.
+  mc.outer_rounds = 1;
+  mc.s_steps_per_round = 3;
+  mc.relay_refinement_steps = 5;
+  mc.edge_batch = 256;
+  const MCondResult result =
+      RunMCondSharded(graph.value(), support, 128, mc, 7);
+  const auto t2 = std::chrono::steady_clock::now();
+  MCOND_CHECK_EQ(result.synthetic_features.rows(), 128);
+
+  const ShardedGraph& g = graph.value();
+  const int64_t nnz = g.adjacency->Nnz();
+  // What the resident path would have held: adjacency + normalized CSRs
+  // (row_ptr i64 + col i32 + val f32 each) plus features and labels.
+  const int64_t resident_footprint =
+      2 * ((nodes + 1) * 8 + nnz * (4 + 4)) +
+      g.features.rows() * g.features.cols() * 4 + nodes * 8;
+  const int64_t store_bytes =
+      g.adjacency->StorageBytes() + g.normalized->StorageBytes();
+  const double gen_sec = std::chrono::duration<double>(t1 - t0).count();
+  const double condense_sec = std::chrono::duration<double>(t2 - t1).count();
+
+  std::printf("ROW nodes=%" PRId64 " budget_mb=%" PRId64 " nnz=%" PRId64
+              " segments=%" PRId64 " gen_sec=%.2f condense_sec=%.2f"
+              " nodes_per_sec=%.1f peak_rss_bytes=%" PRId64
+              " resident_footprint_bytes=%" PRId64 " store_bytes=%" PRId64
+              "\n",
+              nodes, budget_mb, nnz,
+              g.adjacency->NumSegments() + g.normalized->NumSegments(),
+              gen_sec, condense_sec, nodes / condense_sec,
+              obs::PeakRssBytes(), resident_footprint, store_bytes);
+
+  graph = ShardedGraph{};  // Close stores before removing the directory.
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// --json: one child per budget so each row gets an uncontaminated VmHWM.
+// ---------------------------------------------------------------------------
+
+int RunJson(const char* self, int64_t nodes) {
+  const int64_t budgets[] = {0, 512, 128};
+  std::vector<std::string> rows;
+  for (int64_t budget : budgets) {
+    const std::string cmd = std::string(self) + " --one " +
+                            std::to_string(nodes) + " " +
+                            std::to_string(budget);
+    std::fprintf(stderr, "running: %s\n", cmd.c_str());
+    FILE* pipe = ::popen(cmd.c_str(), "r");
+    if (pipe == nullptr) {
+      std::fprintf(stderr, "popen failed\n");
+      return 1;
+    }
+    char line[1024];
+    std::string row;
+    while (std::fgets(line, sizeof(line), pipe) != nullptr) {
+      if (std::strncmp(line, "ROW ", 4) == 0) row = line;
+      std::fputs(line, stderr);
+    }
+    if (::pclose(pipe) != 0 || row.empty()) {
+      std::fprintf(stderr, "budget %" PRId64 " run failed\n", budget);
+      return 1;
+    }
+    rows.push_back(row);
+  }
+
+  auto field = [](const std::string& row, const char* key) {
+    const std::string needle = std::string(key) + "=";
+    const size_t at = row.find(needle);
+    MCOND_CHECK(at != std::string::npos) << key;
+    const size_t begin = at + needle.size();
+    const size_t end = row.find_first_of(" \n", begin);
+    return row.substr(begin, end == std::string::npos ? end : end - begin);
+  };
+
+  std::printf("{\n");
+  std::printf(
+      "  \"note\": \"Out-of-core condensation baseline: reddit-xl-sim "
+      "(DC-SBM) generated straight into the sharded segment store, then one "
+      "GCond-mode condense round (learn_mapping=false) under each mmap "
+      "budget. peak_rss_bytes is VmHWM measured in a per-budget child "
+      "process; resident_footprint_bytes is what the resident-CSR path "
+      "would hold (adjacency + normalized + features + labels). The "
+      "acceptance gate is peak_rss_bytes < resident_footprint_bytes on the "
+      "budgeted rows. Streamed kernels are bit-identical to resident "
+      "(ctest check_determinism + sharded_condense_test).\",\n");
+  std::printf("  \"context\": {\"num_cpus\": %ld, \"threads\": %d},\n",
+              ::sysconf(_SC_NPROCESSORS_ONLN),
+              ThreadPool::Global().NumThreads());
+  std::printf("  \"benchmarks\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const std::string& r = rows[i];
+    const std::string budget = field(r, "budget_mb");
+    std::printf(
+        "    {\"name\": \"condense_xl/budget_%s_mb\", \"nodes\": %s, "
+        "\"nnz\": %s, \"gen_sec\": %s, \"condense_sec\": %s, "
+        "\"nodes_per_sec\": %s, \"peak_rss_bytes\": %s, "
+        "\"resident_footprint_bytes\": %s, \"store_bytes\": %s}%s\n",
+        budget == "0" ? "unbounded" : budget.c_str(),
+        field(r, "nodes").c_str(), field(r, "nnz").c_str(),
+        field(r, "gen_sec").c_str(), field(r, "condense_sec").c_str(),
+        field(r, "nodes_per_sec").c_str(), field(r, "peak_rss_bytes").c_str(),
+        field(r, "resident_footprint_bytes").c_str(),
+        field(r, "store_bytes").c_str(), i + 1 < rows.size() ? "," : "");
+  }
+  std::printf("  ]\n}\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace mcond
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return mcond::RunSmoke();
+    if (std::strcmp(argv[i], "--one") == 0 && i + 2 < argc) {
+      return mcond::RunOne(std::atoll(argv[i + 1]), std::atoll(argv[i + 2]));
+    }
+    if (std::strcmp(argv[i], "--json") == 0) {
+      const int64_t nodes =
+          (i + 1 < argc) ? std::atoll(argv[i + 1]) : (int64_t{1} << 20);
+      return mcond::RunJson(argv[0], nodes);
+    }
+  }
+  std::fprintf(stderr,
+               "usage: %s --smoke | --one <nodes> <budget_mb> | "
+               "--json [nodes]\n",
+               argv[0]);
+  return 2;
+}

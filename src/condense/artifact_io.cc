@@ -54,6 +54,16 @@ StatusOr<CondensedGraph> LoadCondensedGraph(const std::string& path) {
   if (!in.good() || num_classes <= 0 || num_nodes < 0) {
     return Status::InvalidArgument("corrupt artifact header");
   }
+  // Bound the label allocation by what the file can actually hold — a
+  // corrupt count must produce a Status, not a multi-terabyte resize.
+  const std::streampos label_pos = in.tellg();
+  in.seekg(0, std::ios::end);
+  const int64_t remaining =
+      static_cast<int64_t>(in.tellg()) - static_cast<int64_t>(label_pos);
+  in.seekg(label_pos);
+  if (num_nodes > remaining / static_cast<int64_t>(sizeof(int64_t))) {
+    return Status::InvalidArgument("artifact label count exceeds file size");
+  }
   std::vector<int64_t> labels(static_cast<size_t>(num_nodes));
   in.read(reinterpret_cast<char*>(labels.data()),
           static_cast<std::streamsize>(num_nodes * sizeof(int64_t)));
@@ -66,9 +76,17 @@ StatusOr<CondensedGraph> LoadCondensedGraph(const std::string& path) {
   if (!features.ok()) return features.status();
   StatusOr<CsrMatrix> mapping = ReadCsrMatrix(in);
   if (!mapping.ok()) return mapping.status();
+  // Validate every shape the Graph constructor would otherwise CHECK-abort
+  // on — a corrupt artifact must come back as a Status, never kill the
+  // serving process.
   if (adjacency.value().rows() != num_nodes ||
+      adjacency.value().cols() != num_nodes ||
       features.value().rows() != num_nodes) {
     return Status::InvalidArgument("artifact shape mismatch");
+  }
+  if (mapping.value().rows() > 0 && mapping.value().cols() != num_nodes) {
+    return Status::InvalidArgument(
+        "artifact mapping columns do not match synthetic node count");
   }
   for (int64_t y : labels) {
     if (y < -1 || y >= num_classes) {

@@ -8,10 +8,14 @@ namespace mcond {
 
 std::vector<int64_t> AllocateSyntheticLabels(const Graph& original,
                                              int64_t num_synthetic) {
-  const int64_t c = original.num_classes();
+  return AllocateSyntheticLabels(original.ClassCounts(), num_synthetic);
+}
+
+std::vector<int64_t> AllocateSyntheticLabels(
+    const std::vector<int64_t>& counts, int64_t num_synthetic) {
+  const int64_t c = static_cast<int64_t>(counts.size());
   MCOND_CHECK_GE(num_synthetic, c)
       << "need at least one synthetic node per class";
-  const std::vector<int64_t> counts = original.ClassCounts();
   int64_t total_labeled = 0;
   for (int64_t k : counts) total_labeled += k;
   MCOND_CHECK_GT(total_labeled, 0) << "original graph has no labels";
@@ -51,21 +55,29 @@ std::vector<int64_t> AllocateSyntheticLabels(const Graph& original,
 Tensor InitializeSyntheticFeatures(const Graph& original,
                                    const std::vector<int64_t>& synthetic_labels,
                                    Rng& rng) {
-  const int64_t c = original.num_classes();
-  std::vector<std::vector<int64_t>> by_class(static_cast<size_t>(c));
-  for (int64_t i = 0; i < original.NumNodes(); ++i) {
-    const int64_t y = original.labels()[static_cast<size_t>(i)];
+  return InitializeSyntheticFeatures(original.features(), original.labels(),
+                                     original.num_classes(), synthetic_labels,
+                                     rng);
+}
+
+Tensor InitializeSyntheticFeatures(const Tensor& features,
+                                   const std::vector<int64_t>& labels,
+                                   int64_t num_classes,
+                                   const std::vector<int64_t>& synthetic_labels,
+                                   Rng& rng) {
+  std::vector<std::vector<int64_t>> by_class(static_cast<size_t>(num_classes));
+  for (int64_t i = 0; i < features.rows(); ++i) {
+    const int64_t y = labels[static_cast<size_t>(i)];
     if (y >= 0) by_class[static_cast<size_t>(y)].push_back(i);
   }
-  Tensor x(static_cast<int64_t>(synthetic_labels.size()),
-           original.FeatureDim());
+  Tensor x(static_cast<int64_t>(synthetic_labels.size()), features.cols());
   for (size_t s = 0; s < synthetic_labels.size(); ++s) {
     const int64_t y = synthetic_labels[s];
     const auto& pool = by_class[static_cast<size_t>(y)];
     MCOND_CHECK(!pool.empty()) << "class " << y << " has no labeled nodes";
     const int64_t src =
         pool[static_cast<size_t>(rng.RandInt(0, static_cast<int64_t>(pool.size()) - 1))];
-    const float* row = original.features().RowData(src);
+    const float* row = features.RowData(src);
     float* dst = x.RowData(static_cast<int64_t>(s));
     for (int64_t j = 0; j < x.cols(); ++j) {
       dst[j] = row[j] + rng.Normal(0.0f, 0.01f);

@@ -1,8 +1,12 @@
 #include "condense/mcond.h"
 
+#include <memory>
+#include <utility>
+
 #include "autograd/optimizer.h"
 #include "condense/adjacency_generator.h"
 #include "condense/class_distribution.h"
+#include "condense/condense_source.h"
 #include "condense/dense_ops.h"
 #include "condense/gradient_matching.h"
 #include "condense/relay_sgc.h"
@@ -15,18 +19,6 @@
 #include "obs/trace.h"
 
 namespace mcond {
-
-namespace {
-
-/// Propagates features through a sparse normalized adjacency `depth` times.
-Tensor PropagateSparse(const CsrMatrix& a_hat, const Tensor& x,
-                       int64_t depth) {
-  Tensor z = x;
-  for (int64_t i = 0; i < depth; ++i) z = a_hat.SpMM(z);
-  return z;
-}
-
-}  // namespace
 
 CondensedGraph MCondResult::Sparsify(float mu, float delta) const {
   CondensedGraph out;
@@ -41,48 +33,74 @@ CondensedGraph MCondResult::Sparsify(float mu, float delta) const {
   return out;
 }
 
-MCondResult RunMCond(const Graph& original, const HeldOutBatch& support,
-                     int64_t num_synthetic, const MCondConfig& config,
-                     uint64_t seed) {
+MCondResult RunMCondOnSource(const CondenseSource& source,
+                             const HeldOutBatch& support,
+                             int64_t num_synthetic, const MCondConfig& config,
+                             uint64_t seed) {
   Rng rng(seed);
-  const int64_t n_orig = original.NumNodes();
-  const int64_t d = original.FeatureDim();
-  const int64_t num_classes = original.num_classes();
+  const int64_t n_orig = source.NumNodes();
+  const int64_t d = source.FeatureDim();
+  const int64_t num_classes = source.num_classes();
   MCOND_CHECK_GE(num_synthetic, num_classes);
   MCOND_CHECK_LT(num_synthetic, n_orig);
 
   // --- Predefine Y' and initialize X' (§III-A). ---
   const std::vector<int64_t> synthetic_labels =
-      AllocateSyntheticLabels(original, num_synthetic);
+      AllocateSyntheticLabels(source.ClassCounts(), num_synthetic);
   Variable x_syn = MakeVariable(
-      InitializeSyntheticFeatures(original, synthetic_labels, rng),
+      InitializeSyntheticFeatures(source.features(), source.labels(),
+                                  num_classes, synthetic_labels, rng),
       /*requires_grad=*/true);
 
   AdjacencyGenerator generator(d, config.gen_hidden, rng);
   RelaySgc relay(d, config.relay_hidden, num_classes, config.relay_depth,
                  rng);
 
-  MappingMatrix mapping(n_orig, num_synthetic, config.mapping);
-  if (config.class_aware_init) {
-    mapping.InitializeClassAware(original.labels(), synthetic_labels);
-  } else {
-    mapping.InitializeRandom(rng);
+  // The N×N' mapping is dense learnable state — at out-of-core scales it is
+  // the single largest allocation of the whole loop, so it exists only when
+  // it is actually learned (GCond mode condenses million-node graphs with no
+  // N-sized dense state beyond one propagated feature block).
+  std::unique_ptr<MappingMatrix> mapping;
+  if (config.learn_mapping) {
+    mapping = std::make_unique<MappingMatrix>(n_orig, num_synthetic,
+                                              config.mapping);
+    if (config.class_aware_init) {
+      mapping->InitializeClassAware(source.labels(), synthetic_labels);
+    } else {
+      mapping->InitializeRandom(rng);
+    }
   }
 
   // --- Constants of the original-graph side. ---
   // The relay is linear, so Â^L X is computed once and reused for every
-  // gradient-matching step and every embedding target.
-  const Tensor z_orig = PropagateSparse(original.normalized_adjacency(),
-                                        original.features(),
-                                        config.relay_depth);
-  const std::vector<int64_t> labeled = original.LabeledNodes();
+  // gradient-matching step and every embedding target. Labeled rows are laid
+  // out in class-block order; the gradient-matching loop walks them one
+  // fixed block at a time, so the streamed path never needs more than one
+  // block of forward state and both paths merge in the same order.
+  const std::vector<int64_t> labeled =
+      ClassBlockedLabeledNodes(source.labels());
   MCOND_CHECK(!labeled.empty());
   std::vector<int64_t> labeled_y;
   labeled_y.reserve(labeled.size());
   for (int64_t i : labeled) {
-    labeled_y.push_back(original.labels()[static_cast<size_t>(i)]);
+    labeled_y.push_back(source.labels()[static_cast<size_t>(i)]);
   }
-  const Tensor z_labeled = GatherRows(z_orig, labeled);
+  const std::vector<std::pair<int64_t, int64_t>> grad_blocks =
+      ClassGradBlocks(labeled_y);
+
+  // The full N×d propagation is only an ℒ_tra target (Eq. 10); without a
+  // mapping to train, only the labeled rows are ever read, and the keep-list
+  // propagation skips the final full-size hop.
+  Tensor z_orig;
+  Tensor z_labeled;
+  if (config.learn_mapping) {
+    z_orig = source.PropagateNormalized(source.features(), config.relay_depth);
+    z_labeled = GatherRows(z_orig, labeled);
+  } else {
+    z_labeled =
+        source.PropagateNormalized(source.features(), config.relay_depth,
+                                   labeled);
+  }
 
   // Support-side constants for ℒ_ind: the target embeddings H_sup come from
   // attaching the support nodes to the *original* graph (Eq. 3) — but they
@@ -91,14 +109,8 @@ MCondResult RunMCond(const Graph& original, const HeldOutBatch& support,
   const int64_t n_sup = support.size();
   Tensor z_sup_on_original;
   if (config.use_inductive_loss && config.learn_mapping) {
-    const CsrMatrix composed = ComposeBlockAdjacency(
-        original.adjacency(), support.links, support.inter);
-    const CsrMatrix composed_norm = SymNormalize(composed);
-    const Tensor x_all =
-        ComposeFeatures(original.features(), support.features);
-    const Tensor z_all = PropagateSparse(composed_norm, x_all,
-                                         config.relay_depth);
-    z_sup_on_original = SliceRows(z_all, n_orig, n_orig + n_sup);
+    z_sup_on_original =
+        source.PropagateComposedSupportTail(support, config.relay_depth);
   }
 
   // --- Optimizers. ---
@@ -110,7 +122,11 @@ MCondResult RunMCond(const Graph& original, const HeldOutBatch& support,
   // normalized mixture of H' (synthetic) rows.
   AdamOptimizer opt_relay(relay.Parameters(), config.lr_relay,
                           /*weight_decay=*/5e-4f);
-  AdamOptimizer opt_mapping(mapping.Parameters(), config.lr_mapping);
+  std::unique_ptr<AdamOptimizer> opt_mapping;
+  if (mapping) {
+    opt_mapping = std::make_unique<AdamOptimizer>(mapping->Parameters(),
+                                                  config.lr_mapping);
+  }
 
   MCondResult result;
   result.synthetic_labels = synthetic_labels;
@@ -134,7 +150,7 @@ MCondResult RunMCond(const Graph& original, const HeldOutBatch& support,
 
     // ---- Update the synthetic graph S (lines 6-11 of Algorithm 1). ----
     const Tensor mapping_now =
-        config.learn_mapping ? mapping.NormalizedTensor() : Tensor();
+        mapping ? mapping->NormalizedTensor() : Tensor();
     for (int64_t t = 0; t < config.s_steps_per_round; ++t) {
       obs::TraceSpan s_span("condense.s_step");
       // One-step matching re-draws θ₀ for every step (DosCond).
@@ -145,7 +161,8 @@ MCondResult RunMCond(const Graph& original, const HeldOutBatch& support,
 
       // ℒ_gra: constant 𝒢ᵀ vs differentiable 𝒢ˢ.
       const std::vector<Tensor> grads_orig =
-          relay.WeightGradientTensors(z_labeled, labeled_y);
+          relay.WeightGradientTensorsBlocked(z_labeled, labeled_y,
+                                             grad_blocks);
       const std::vector<Variable> grads_syn =
           relay.WeightGradients(z_syn, synthetic_labels);
       Variable loss = GradientMatchingLoss(grads_orig, grads_syn);
@@ -154,8 +171,8 @@ MCondResult RunMCond(const Graph& original, const HeldOutBatch& support,
       // mapped-back embeddings H̃ = M H'.
       if (config.use_structure_loss && config.learn_mapping &&
           config.lambda > 0.0f) {
-        const EdgeBatch batch = SampleEdgeBatch(
-            original.adjacency(), config.edge_batch, config.edge_batch, rng);
+        const EdgeBatch batch =
+            source.SampleEdges(config.edge_batch, config.edge_batch, rng);
         if (batch.size() > 0) {
           Variable h_syn = relay.Logits(z_syn);
           Variable m_src =
@@ -229,7 +246,7 @@ MCondResult RunMCond(const Graph& original, const HeldOutBatch& support,
 
     for (int64_t t = 0; t < config.m_steps_per_round; ++t) {
       obs::TraceSpan m_span("condense.m_step");
-      Variable m_norm = mapping.Normalized();
+      Variable m_norm = mapping->Normalized();
 
       // ℒ_tra (Eq. 10): H ≈ M H'.
       Variable loss = ops::Scale(
@@ -254,9 +271,9 @@ MCondResult RunMCond(const Graph& original, const HeldOutBatch& support,
         loss = ops::Add(loss, ops::Scale(ind, config.beta));
       }
 
-      opt_mapping.ZeroGrad();
+      opt_mapping->ZeroGrad();
       Backward(loss);
-      opt_mapping.Step();
+      opt_mapping->Step();
       result.m_loss_history.push_back(loss->value().At(0, 0));
       loss_m_series.Append(result.m_loss_history.back());
     }
@@ -279,15 +296,15 @@ MCondResult RunMCond(const Graph& original, const HeldOutBatch& support,
   // ---- Final artifacts + sparsification (line 16, Eq. 14). ----
   result.synthetic_features = x_syn->value();
   result.dense_adjacency = generator.Forward(x_syn)->value();
-  if (config.learn_mapping) {
-    result.dense_mapping = mapping.NormalizedTensor();
+  if (mapping) {
+    result.dense_mapping = mapping->NormalizedTensor();
   }
   CsrMatrix adj = CsrMatrix::FromDense(result.dense_adjacency, 0.0f)
                       .Thresholded(config.mu);
   result.condensed.graph =
       Graph(std::move(adj), result.synthetic_features,
             result.synthetic_labels, num_classes);
-  if (config.learn_mapping) {
+  if (mapping) {
     const float delta = config.delta >= 0.0f
                             ? config.delta
                             : 2.0f / static_cast<float>(num_synthetic);
@@ -295,6 +312,23 @@ MCondResult RunMCond(const Graph& original, const HeldOutBatch& support,
         CsrMatrix::FromDense(result.dense_mapping, 0.0f).Thresholded(delta);
   }
   return result;
+}
+
+MCondResult RunMCond(const Graph& original, const HeldOutBatch& support,
+                     int64_t num_synthetic, const MCondConfig& config,
+                     uint64_t seed) {
+  ResidentCondenseSource source(original);
+  return RunMCondOnSource(source, support, num_synthetic, config, seed);
+}
+
+MCondResult RunMCondSharded(const ShardedGraph& original,
+                            const HeldOutBatch& support,
+                            int64_t num_synthetic, const MCondConfig& config,
+                            uint64_t seed) {
+  MCOND_CHECK(original.adjacency) << "sharded graph has no adjacency store";
+  ShardedCondenseSource source(original,
+                               original.adjacency->path() + ".scratch");
+  return RunMCondOnSource(source, support, num_synthetic, config, seed);
 }
 
 }  // namespace mcond

@@ -106,12 +106,34 @@ struct MCondResult {
   CondensedGraph Sparsify(float mu, float delta) const;
 };
 
+class CondenseSource;
+struct ShardedGraph;
+
 /// Runs Algorithm 1 on `original` (the training graph T), using `support`
 /// (the validation batch, labels unused) for the inductive constraint.
 /// Deterministic in `seed`.
 MCondResult RunMCond(const Graph& original, const HeldOutBatch& support,
                      int64_t num_synthetic, const MCondConfig& config,
                      uint64_t seed);
+
+/// The same algorithm against any CondenseSource (condense_source.h) — the
+/// shared implementation RunMCond and RunMCondSharded both call. On the same
+/// graph the resident and sharded sources produce bit-identical results at
+/// every thread count and memory budget.
+MCondResult RunMCondOnSource(const CondenseSource& source,
+                             const HeldOutBatch& support,
+                             int64_t num_synthetic, const MCondConfig& config,
+                             uint64_t seed);
+
+/// Out-of-core entry point: the original graph streams from its segment
+/// stores under their memory budget; scratch stores for the composed
+/// support operators live next to the adjacency store. Dense state is
+/// limited to the synthetic graph, one class block of propagated features,
+/// and (only if config.learn_mapping) the N×N' mapping plus full Â^L X.
+MCondResult RunMCondSharded(const ShardedGraph& original,
+                            const HeldOutBatch& support,
+                            int64_t num_synthetic, const MCondConfig& config,
+                            uint64_t seed);
 
 }  // namespace mcond
 

@@ -58,6 +58,36 @@ std::vector<Tensor> RelaySgc::WeightGradientTensors(
   return {g1, g2};
 }
 
+std::vector<Tensor> RelaySgc::WeightGradientTensorsBlocked(
+    const Tensor& propagated, const std::vector<int64_t>& labels,
+    const std::vector<std::pair<int64_t, int64_t>>& blocks) const {
+  MCOND_CHECK_EQ(propagated.rows(), static_cast<int64_t>(labels.size()));
+  const int64_t n = propagated.rows();
+  Tensor g1(in_dim_, hidden_dim_);
+  Tensor g2(hidden_dim_, num_classes_);
+  int64_t covered = 0;
+  for (const auto& [begin, end] : blocks) {
+    MCOND_CHECK(begin == covered && end >= begin && end <= n)
+        << "gradient blocks must tile the rows in order";
+    covered = end;
+    if (end == begin) continue;
+    const Tensor z_b = SliceRows(propagated, begin, end);
+    const std::vector<int64_t> labels_b(labels.begin() + begin,
+                                        labels.begin() + end);
+    // Per-row state matches the unblocked form exactly (row-sliced GEMM and
+    // softmax are row-local); only the row reductions below reassociate.
+    const Tensor zw1 = MatMul(z_b, w1_->value());
+    const Tensor probs = SoftmaxRows(MatMul(zw1, w2_->value()));
+    const Tensor residual = Sub(probs, OneHot(labels_b, num_classes_));
+    AxpyInPlace(g2, 1.0f, MatMulTransA(zw1, residual));
+    AxpyInPlace(g1, 1.0f,
+                MatMulTransA(z_b, MatMulTransB(residual, w2_->value())));
+  }
+  MCOND_CHECK_EQ(covered, n) << "gradient blocks must cover every row";
+  const float inv_n = 1.0f / static_cast<float>(n);
+  return {Scale(g1, inv_n), Scale(g2, inv_n)};
+}
+
 float RelaySgc::TrainStep(const Tensor& propagated,
                           const std::vector<int64_t>& labels,
                           Optimizer& optimizer) {

@@ -1,6 +1,7 @@
 #ifndef MCOND_CONDENSE_RELAY_SGC_H_
 #define MCOND_CONDENSE_RELAY_SGC_H_
 
+#include <utility>
 #include <vector>
 
 #include "nn/module.h"
@@ -43,6 +44,18 @@ class RelaySgc : public Module {
   /// inputs are constant.
   std::vector<Tensor> WeightGradientTensors(
       const Tensor& propagated, const std::vector<int64_t>& labels) const;
+
+  /// Class-block partitioned variant of WeightGradientTensors: rows of
+  /// `propagated` are processed one [begin, end) block at a time (unscaled
+  /// per-block gradients, merged in block order, scaled by 1/n once at the
+  /// end), so at most one block of forward state is live. The block
+  /// partition is fixed by the caller — independent of thread count and of
+  /// any memory budget — which makes the result deterministic across both;
+  /// the merge reassociates the row reduction, so results differ from the
+  /// unblocked form by float reassociation only (≈1e-6 relative).
+  std::vector<Tensor> WeightGradientTensorsBlocked(
+      const Tensor& propagated, const std::vector<int64_t>& labels,
+      const std::vector<std::pair<int64_t, int64_t>>& blocks) const;
 
   /// One optimizer step of the relay on the synthetic graph (line 11 of
   /// Algorithm 1): CE loss on (propagated', Y'), gradients flow into θ only.

@@ -68,6 +68,13 @@ CsrMatrix CsrMatrix::FromParts(int64_t rows, int64_t cols,
                                std::vector<int64_t> row_ptr,
                                std::vector<int32_t> col_idx,
                                std::vector<float> values, bool validate) {
+#ifndef NDEBUG
+  // Debug builds always validate: a caller passing validate=false asserts
+  // the arrays are canonical, and a non-monotone row_ptr or unsorted column
+  // slipping through would silently corrupt every downstream kernel (binary
+  // searches, SpMM, the transposed view). Release keeps the fast path.
+  validate = true;
+#endif
   if (validate) {
     MCOND_CHECK_GE(rows, 0);
     MCOND_CHECK_GE(cols, 0);

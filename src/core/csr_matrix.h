@@ -62,9 +62,11 @@ class CsrMatrix {
   /// arrays must satisfy the class invariants (row_ptr non-decreasing with
   /// rows+1 entries, columns strictly ascending within each row); with
   /// `validate` they are checked in O(nnz), hot paths that construct the
-  /// arrays canonically (the serving session) pass false. Together with
-  /// TakeParts this lets a caller recycle the same buffers across
-  /// rebuilds without reallocating.
+  /// arrays canonically (the serving session) pass false. Debug builds
+  /// validate regardless — a non-monotone row_ptr accepted here would
+  /// silently corrupt every downstream kernel. Together with TakeParts this
+  /// lets a caller recycle the same buffers across rebuilds without
+  /// reallocating.
   static CsrMatrix FromParts(int64_t rows, int64_t cols,
                              std::vector<int64_t> row_ptr,
                              std::vector<int32_t> col_idx,

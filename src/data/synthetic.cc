@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <limits>
 #include <set>
 #include <utility>
 
@@ -21,107 +24,105 @@ int64_t SampleFromCumulative(const std::vector<double>& cumulative, Rng& rng) {
       static_cast<int64_t>(cumulative.size()) - 1);
 }
 
-}  // namespace
+/// The DC-SBM sampling state shared by the resident and out-of-core
+/// generators: class assignment, degree propensities, and the cumulative
+/// arrays endpoint draws binary-search. Everything here is O(N) doubles —
+/// it stays resident even at out-of-core scales; only the edge list does
+/// not.
+struct SbmSampler {
+  int64_t n = 0;
+  int64_t c = 0;
+  std::vector<int64_t> truth;
+  std::vector<std::vector<int64_t>> members;
+  std::vector<std::vector<double>> member_cum;
+  std::vector<double> global_cum;
+  std::vector<double> class_mass;  // cumulative per-class propensity totals
+  int64_t target_edges = 0;
 
-Graph GenerateSbmGraph(const SbmConfig& config, Rng& rng) {
-  const int64_t n = config.num_nodes;
-  const int64_t c = config.num_classes;
-  const int64_t d = config.feature_dim;
-  MCOND_CHECK_GT(n, 0);
-  MCOND_CHECK_GT(c, 0);
-  MCOND_CHECK_GT(d, 0);
-  MCOND_CHECK(config.homophily >= 0.0 && config.homophily <= 1.0);
-
-  // --- Class assignment with optional power-law imbalance. ---
-  std::vector<double> class_cum(static_cast<size_t>(c));
-  double acc = 0.0;
-  for (int64_t k = 0; k < c; ++k) {
-    acc += std::pow(static_cast<double>(k + 1), -config.class_imbalance);
-    class_cum[static_cast<size_t>(k)] = acc;
-  }
-  std::vector<int64_t> truth(static_cast<size_t>(n));
-  for (int64_t i = 0; i < n; ++i) {
-    truth[static_cast<size_t>(i)] = SampleFromCumulative(class_cum, rng);
-  }
-  // Guarantee every class is populated (needed for per-class condensation).
-  for (int64_t k = 0; k < c; ++k) {
-    truth[static_cast<size_t>(rng.RandInt(0, n - 1))] = k;
-  }
-
-  // --- Degree-corrected block structure. ---
-  std::vector<double> propensity(static_cast<size_t>(n));
-  for (int64_t i = 0; i < n; ++i) {
-    propensity[static_cast<size_t>(i)] =
-        std::exp(rng.Normal(0.0f, static_cast<float>(config.degree_sigma)));
-  }
-  // Per-class member lists with cumulative propensities, plus a global one.
-  std::vector<std::vector<int64_t>> members(static_cast<size_t>(c));
-  for (int64_t i = 0; i < n; ++i) {
-    members[static_cast<size_t>(truth[static_cast<size_t>(i)])].push_back(i);
-  }
-  std::vector<std::vector<double>> member_cum(static_cast<size_t>(c));
-  for (int64_t k = 0; k < c; ++k) {
-    double s = 0.0;
-    for (int64_t i : members[static_cast<size_t>(k)]) {
-      s += propensity[static_cast<size_t>(i)];
-      member_cum[static_cast<size_t>(k)].push_back(s);
+  SbmSampler(const SbmConfig& config, Rng& rng)
+      : n(config.num_nodes), c(config.num_classes) {
+    // --- Class assignment with optional power-law imbalance. ---
+    std::vector<double> class_cum(static_cast<size_t>(c));
+    double acc = 0.0;
+    for (int64_t k = 0; k < c; ++k) {
+      acc += std::pow(static_cast<double>(k + 1), -config.class_imbalance);
+      class_cum[static_cast<size_t>(k)] = acc;
     }
-  }
-  std::vector<double> global_cum(static_cast<size_t>(n));
-  double gs = 0.0;
-  for (int64_t i = 0; i < n; ++i) {
-    gs += propensity[static_cast<size_t>(i)];
-    global_cum[static_cast<size_t>(i)] = gs;
+    truth.resize(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      truth[static_cast<size_t>(i)] = SampleFromCumulative(class_cum, rng);
+    }
+    // Guarantee every class is populated (needed for per-class condensation).
+    for (int64_t k = 0; k < c; ++k) {
+      truth[static_cast<size_t>(rng.RandInt(0, n - 1))] = k;
+    }
+
+    // --- Degree-corrected block structure. ---
+    std::vector<double> propensity(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) {
+      propensity[static_cast<size_t>(i)] =
+          std::exp(rng.Normal(0.0f, static_cast<float>(config.degree_sigma)));
+    }
+    // Per-class member lists with cumulative propensities, plus a global one.
+    members.resize(static_cast<size_t>(c));
+    for (int64_t i = 0; i < n; ++i) {
+      members[static_cast<size_t>(truth[static_cast<size_t>(i)])].push_back(i);
+    }
+    member_cum.resize(static_cast<size_t>(c));
+    class_mass.resize(static_cast<size_t>(c));
+    double cm = 0.0;
+    for (int64_t k = 0; k < c; ++k) {
+      double s = 0.0;
+      for (int64_t i : members[static_cast<size_t>(k)]) {
+        s += propensity[static_cast<size_t>(i)];
+        member_cum[static_cast<size_t>(k)].push_back(s);
+      }
+      cm += s;
+      class_mass[static_cast<size_t>(k)] = cm;
+    }
+    global_cum.resize(static_cast<size_t>(n));
+    double gs = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      gs += propensity[static_cast<size_t>(i)];
+      global_cum[static_cast<size_t>(i)] = gs;
+    }
+
+    target_edges =
+        static_cast<int64_t>(config.avg_degree * static_cast<double>(n) / 2.0);
   }
 
-  const int64_t target_edges =
-      static_cast<int64_t>(config.avg_degree * static_cast<double>(n) / 2.0);
-  std::set<std::pair<int64_t, int64_t>> edges;
-  int64_t attempts = 0;
-  const int64_t max_attempts = 30 * std::max<int64_t>(target_edges, 1);
-  while (static_cast<int64_t>(edges.size()) < target_edges &&
-         attempts < max_attempts) {
-    ++attempts;
-    int64_t u, v;
+  /// Draws one candidate endpoint pair. Returns false on a rejected draw
+  /// (self-loop or an intra-class draw landing in a singleton class); the
+  /// caller retries or just moves on.
+  bool SamplePair(const SbmConfig& config, Rng& rng, int64_t* u, int64_t* v) {
     if (rng.Bernoulli(config.homophily)) {
       // Intra-class edge: class chosen proportional to total propensity so
       // big classes get proportionally more internal edges.
-      std::vector<double> class_mass(static_cast<size_t>(c));
-      // (Cheap: c is small; cumulative of per-class totals.)
-      double cm = 0.0;
-      for (int64_t k = 0; k < c; ++k) {
-        cm += member_cum[static_cast<size_t>(k)].empty()
-                  ? 0.0
-                  : member_cum[static_cast<size_t>(k)].back();
-        class_mass[static_cast<size_t>(k)] = cm;
-      }
       const int64_t k = SampleFromCumulative(class_mass, rng);
       const auto& mem = members[static_cast<size_t>(k)];
-      if (mem.size() < 2) continue;
-      u = mem[static_cast<size_t>(
+      if (mem.size() < 2) return false;
+      *u = mem[static_cast<size_t>(
           SampleFromCumulative(member_cum[static_cast<size_t>(k)], rng))];
-      v = mem[static_cast<size_t>(
+      *v = mem[static_cast<size_t>(
           SampleFromCumulative(member_cum[static_cast<size_t>(k)], rng))];
     } else {
-      u = SampleFromCumulative(global_cum, rng);
-      v = SampleFromCumulative(global_cum, rng);
+      *u = SampleFromCumulative(global_cum, rng);
+      *v = SampleFromCumulative(global_cum, rng);
     }
-    if (u == v) continue;
-    if (u > v) std::swap(u, v);
-    edges.insert({u, v});
+    if (*u == *v) return false;
+    if (*u > *v) std::swap(*u, *v);
+    return true;
   }
+};
 
-  std::vector<Triplet> triplets;
-  triplets.reserve(edges.size() * 2);
-  for (const auto& [u, v] : edges) {
-    triplets.push_back({u, v, 1.0f});
-    triplets.push_back({v, u, 1.0f});
-  }
-  CsrMatrix adjacency = CsrMatrix::FromTriplets(n, n, std::move(triplets));
-
-  // --- Class-conditional Gaussian features. ---
-  // Centroids are unit-ish Gaussian directions; noise scales relative to
-  // them, so `feature_noise` directly controls class separability.
+/// Class-conditional Gaussian features: centroids are unit-ish Gaussian
+/// directions; noise scales relative to them, so `feature_noise` directly
+/// controls class separability.
+Tensor GenerateSbmFeatures(const SbmConfig& config,
+                           const std::vector<int64_t>& truth, Rng& rng) {
+  const int64_t n = config.num_nodes;
+  const int64_t c = config.num_classes;
+  const int64_t d = config.feature_dim;
   Tensor centroids = rng.NormalTensor(c, d, 0.0f,
                                       1.0f / std::sqrt(static_cast<float>(d)));
   Tensor features(n, d);
@@ -135,10 +136,16 @@ Graph GenerateSbmGraph(const SbmConfig& config, Rng& rng) {
       row[j] = mu[j] + rng.Normal(0.0f, noise);
     }
   }
+  return features;
+}
 
-  // --- Label noise: flip a fraction of labels to a random class. The flip
-  // happens before masking, so training and evaluation both see the noisy
-  // labels (an irreducible error floor). ---
+/// Label noise (flipped before masking, so train and eval both see it) plus
+/// label-rate masking with a per-class floor of one kept label.
+std::vector<int64_t> GenerateSbmLabels(
+    const SbmConfig& config, const std::vector<int64_t>& truth,
+    const std::vector<std::vector<int64_t>>& members, Rng& rng) {
+  const int64_t n = config.num_nodes;
+  const int64_t c = config.num_classes;
   std::vector<int64_t> labels = truth;
   if (config.label_noise > 0.0) {
     for (int64_t i = 0; i < n; ++i) {
@@ -169,9 +176,168 @@ Graph GenerateSbmGraph(const SbmConfig& config, Rng& rng) {
       if (!is_kept[static_cast<size_t>(i)]) labels[static_cast<size_t>(i)] = -1;
     }
   }
+  return labels;
+}
+
+void CheckSbmConfig(const SbmConfig& config) {
+  MCOND_CHECK_GT(config.num_nodes, 0);
+  MCOND_CHECK_GT(config.num_classes, 0);
+  MCOND_CHECK_GT(config.feature_dim, 0);
+  MCOND_CHECK(config.homophily >= 0.0 && config.homophily <= 1.0);
+}
+
+}  // namespace
+
+Graph GenerateSbmGraph(const SbmConfig& config, Rng& rng) {
+  CheckSbmConfig(config);
+  const int64_t n = config.num_nodes;
+
+  SbmSampler sampler(config, rng);
+  std::set<std::pair<int64_t, int64_t>> edges;
+  int64_t attempts = 0;
+  const int64_t max_attempts =
+      30 * std::max<int64_t>(sampler.target_edges, 1);
+  while (static_cast<int64_t>(edges.size()) < sampler.target_edges &&
+         attempts < max_attempts) {
+    ++attempts;
+    int64_t u, v;
+    if (!sampler.SamplePair(config, rng, &u, &v)) continue;
+    edges.insert({u, v});
+  }
+
+  std::vector<Triplet> triplets;
+  triplets.reserve(edges.size() * 2);
+  for (const auto& [u, v] : edges) {
+    triplets.push_back({u, v, 1.0f});
+    triplets.push_back({v, u, 1.0f});
+  }
+  CsrMatrix adjacency = CsrMatrix::FromTriplets(n, n, std::move(triplets));
+
+  Tensor features = GenerateSbmFeatures(config, sampler.truth, rng);
+  std::vector<int64_t> labels =
+      GenerateSbmLabels(config, sampler.truth, sampler.members, rng);
 
   return Graph(std::move(adjacency), std::move(features), std::move(labels),
-               c);
+               config.num_classes);
+}
+
+StatusOr<ShardedGraph> GenerateSbmGraphSharded(const SbmConfig& config,
+                                               Rng& rng,
+                                               const std::string& dir,
+                                               const ShardOptions& options,
+                                               int64_t mem_budget_bytes) {
+  CheckSbmConfig(config);
+  const int64_t n = config.num_nodes;
+  if (n > std::numeric_limits<int32_t>::max()) {
+    return Status::InvalidArgument("sharded SBM: num_nodes exceeds int32");
+  }
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("sharded SBM: cannot create " + dir + ": " +
+                            ec.message());
+  }
+
+  SbmSampler sampler(config, rng);
+
+  // --- Pass 1: sample edges straight into per-row-range spill buckets. ---
+  // One draw per target edge (no global dedup set — that set IS the memory
+  // hog this generator exists to avoid); duplicates are removed per bucket
+  // in pass 2, so realized density lands slightly below the target, which
+  // the resident generator's bounded-attempts loop also permits.
+  const int64_t rows_per_bucket = 1 << 17;
+  const int64_t num_buckets = (n + rows_per_bucket - 1) / rows_per_bucket;
+  std::vector<std::FILE*> spill(static_cast<size_t>(num_buckets), nullptr);
+  std::vector<std::string> spill_paths;
+  for (int64_t b = 0; b < num_buckets; ++b) {
+    spill_paths.push_back(dir + "/edges." + std::to_string(b) + ".tmp");
+    spill[static_cast<size_t>(b)] =
+        std::fopen(spill_paths.back().c_str(), "wb");
+    if (!spill[static_cast<size_t>(b)]) {
+      for (std::FILE* f : spill) {
+        if (f) std::fclose(f);
+      }
+      return Status::Internal("sharded SBM: cannot open spill file " +
+                              spill_paths.back());
+    }
+  }
+  auto emit = [&](int64_t src, int64_t dst) {
+    const int64_t pair[2] = {src, dst};
+    std::fwrite(pair, sizeof(int64_t), 2, spill[static_cast<size_t>(
+                                              src / rows_per_bucket)]);
+  };
+  for (int64_t e = 0; e < sampler.target_edges; ++e) {
+    int64_t u, v;
+    if (!sampler.SamplePair(config, rng, &u, &v)) continue;
+    emit(u, v);
+    emit(v, u);
+  }
+  for (std::FILE* f : spill) std::fclose(f);
+
+  // --- Pass 2: per bucket, sort + dedupe + append rows to the store. ---
+  const std::string adjacency_path = dir + "/adjacency.mcss";
+  StatusOr<ShardedCsrWriter> writer =
+      ShardedCsrWriter::Create(adjacency_path, n, n, options);
+  MCOND_RETURN_IF_ERROR(writer.status());
+  std::vector<std::pair<int64_t, int64_t>> bucket_edges;
+  std::vector<int32_t> row_cols;
+  std::vector<float> row_vals;
+  for (int64_t b = 0; b < num_buckets; ++b) {
+    const std::string& path = spill_paths[static_cast<size_t>(b)];
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (!f) {
+      return Status::Internal("sharded SBM: cannot reopen spill file " + path);
+    }
+    bucket_edges.clear();
+    int64_t pair[2];
+    while (std::fread(pair, sizeof(int64_t), 2, f) == 2) {
+      bucket_edges.emplace_back(pair[0], pair[1]);
+    }
+    std::fclose(f);
+    fs::remove(path, ec);
+    std::sort(bucket_edges.begin(), bucket_edges.end());
+    bucket_edges.erase(
+        std::unique(bucket_edges.begin(), bucket_edges.end()),
+        bucket_edges.end());
+
+    const int64_t row_begin = b * rows_per_bucket;
+    const int64_t row_end = std::min(n, row_begin + rows_per_bucket);
+    size_t at = 0;
+    for (int64_t r = row_begin; r < row_end; ++r) {
+      row_cols.clear();
+      row_vals.clear();
+      while (at < bucket_edges.size() && bucket_edges[at].first == r) {
+        row_cols.push_back(static_cast<int32_t>(bucket_edges[at].second));
+        row_vals.push_back(1.0f);
+        ++at;
+      }
+      MCOND_RETURN_IF_ERROR(writer.value().AppendRow(
+          row_cols.data(), row_vals.data(),
+          static_cast<int64_t>(row_cols.size())));
+    }
+    MCOND_CHECK_EQ(at, bucket_edges.size())
+        << "spill bucket " << b << " held rows outside its range";
+  }
+  MCOND_RETURN_IF_ERROR(writer.value().Finalize());
+
+  // --- Open the store and stream its normalized form next to it. ---
+  StatusOr<ShardedCsr> adjacency =
+      ShardedCsr::Open(adjacency_path, mem_budget_bytes);
+  MCOND_RETURN_IF_ERROR(adjacency.status());
+  StatusOr<ShardedCsr> normalized = ShardedSymNormalize(
+      adjacency.value(), dir + "/normalized.mcss", options, mem_budget_bytes);
+  MCOND_RETURN_IF_ERROR(normalized.status());
+
+  ShardedGraph out;
+  out.adjacency =
+      std::make_shared<ShardedCsr>(std::move(adjacency).value());
+  out.normalized =
+      std::make_shared<ShardedCsr>(std::move(normalized).value());
+  out.features = GenerateSbmFeatures(config, sampler.truth, rng);
+  out.labels = GenerateSbmLabels(config, sampler.truth, sampler.members, rng);
+  out.num_classes = config.num_classes;
+  return out;
 }
 
 }  // namespace mcond

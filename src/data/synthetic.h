@@ -2,10 +2,13 @@
 #define MCOND_DATA_SYNTHETIC_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "core/rng.h"
+#include "core/status.h"
 #include "graph/graph.h"
+#include "graph/sharded_ops.h"
 
 namespace mcond {
 
@@ -51,6 +54,20 @@ struct SbmConfig {
 /// ground-truth class, but only a `label_rate` fraction expose it via
 /// labels() (the rest are -1, mirroring semi-supervised label sparsity).
 Graph GenerateSbmGraph(const SbmConfig& config, Rng& rng);
+
+/// Out-of-core variant for multi-million-node graphs (the reddit-xl-sim
+/// scale): edges are sampled straight into per-row-range spill files, then
+/// sorted/deduped one bucket at a time into a segment store under `dir`
+/// (adjacency.mcss + normalized.mcss, both opened at `mem_budget_bytes`).
+/// Peak memory is O(N) sampler state + one spill bucket + one segment —
+/// never the full edge list. Sampling draws one candidate per target edge
+/// and drops duplicates at sort time, so realized density lands slightly
+/// below avg_degree (the resident generator's bounded-attempts loop allows
+/// the same shortfall); the two generators are statistically matched, not
+/// bit-identical.
+StatusOr<ShardedGraph> GenerateSbmGraphSharded(
+    const SbmConfig& config, Rng& rng, const std::string& dir,
+    const ShardOptions& options = {}, int64_t mem_budget_bytes = 0);
 
 }  // namespace mcond
 

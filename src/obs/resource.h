@@ -1,0 +1,28 @@
+#ifndef MCOND_OBS_RESOURCE_H_
+#define MCOND_OBS_RESOURCE_H_
+
+#include <cstdint>
+
+namespace mcond {
+namespace obs {
+
+/// Current resident set size of this process in bytes (VmRSS), or 0 where
+/// /proc is unavailable. Cheap enough to sample per benchmark phase, not
+/// per kernel call.
+int64_t CurrentRssBytes();
+
+/// Peak resident set size since process start in bytes (VmHWM), or 0 where
+/// /proc is unavailable. This is what the out-of-core acceptance gate
+/// compares against the resident-CSR footprint: the kernel-maintained
+/// high-water mark cannot miss a transient spike between samples.
+int64_t PeakRssBytes();
+
+/// Publishes both values to the metrics registry as
+/// mcond.process.rss_bytes / mcond.process.peak_rss_bytes and returns the
+/// peak.
+int64_t RecordRssMetrics();
+
+}  // namespace obs
+}  // namespace mcond
+
+#endif  // MCOND_OBS_RESOURCE_H_

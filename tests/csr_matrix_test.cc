@@ -46,6 +46,32 @@ TEST(CsrMatrixTest, OutOfRangeTripletDies) {
   EXPECT_DEATH(CsrMatrix::FromTriplets(2, 2, {{2, 0, 1.0f}}), "out of");
 }
 
+TEST(CsrMatrixTest, FromPartsValidatesCanonicalForm) {
+  std::vector<int64_t> row_ptr = {0, 1, 2};
+  std::vector<int32_t> col_idx = {0, 1};
+  std::vector<float> values = {1.0f, 2.0f};
+  CsrMatrix m = CsrMatrix::FromParts(2, 2, row_ptr, col_idx, values);
+  EXPECT_EQ(m.Nnz(), 2);
+  // Non-monotone row_ptr, unsorted columns, out-of-range columns.
+  EXPECT_DEATH(CsrMatrix::FromParts(3, 2, {0, 2, 1, 2}, col_idx, values),
+               "non-decreasing");
+  EXPECT_DEATH(CsrMatrix::FromParts(1, 2, {0, 2}, {1, 0}, values),
+               "ascending");
+  EXPECT_DEATH(CsrMatrix::FromParts(2, 2, row_ptr, {0, 5}, values),
+               "out of range");
+}
+
+#ifndef NDEBUG
+TEST(CsrMatrixTest, FromPartsDebugBuildsValidateEvenWhenAskedNotTo) {
+  // validate=false is a release-mode fast path only: debug builds must
+  // still reject a non-monotone row_ptr rather than hand corrupt arrays
+  // to every downstream kernel.
+  EXPECT_DEATH(CsrMatrix::FromParts(3, 2, {0, 2, 1, 2}, {0, 1}, {1.0f, 2.0f},
+                                    /*validate=*/false),
+               "non-decreasing");
+}
+#endif
+
 TEST(CsrMatrixTest, Identity) {
   CsrMatrix id = CsrMatrix::Identity(3);
   EXPECT_EQ(id.Nnz(), 3);

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -136,6 +137,70 @@ TEST(ArtifactIoTest, GarbageFileIsInvalidArgument) {
   std::ofstream(path) << "garbage bytes here";
   EXPECT_EQ(LoadCondensedGraph(path).status().code(),
             StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+namespace {
+
+CondensedGraph SmallArtifact() {
+  SbmConfig config;
+  config.num_nodes = 24;
+  config.num_classes = 2;
+  config.feature_dim = 4;
+  Rng rng(6);
+  CondensedGraph cg;
+  cg.graph = GenerateSbmGraph(config, rng);
+  cg.mapping = CsrMatrix::FromTriplets(50, 24, {{0, 0, 1.0f}, {49, 23, 0.5f}});
+  return cg;
+}
+
+}  // namespace
+
+TEST(ArtifactIoTest, AbsurdNodeCountInHeaderIsRejectedNotAllocated) {
+  // A corrupt num_nodes field must come back as InvalidArgument — not a
+  // multi-terabyte vector resize (std::bad_alloc / OOM kill).
+  const std::string path = ::testing::TempDir() + "/corrupt_header.bin";
+  ASSERT_TRUE(SaveCondensedGraph(path, SmallArtifact()).ok());
+  {
+    // Header: magic(4) + version(4) + num_classes(8) + num_nodes(8).
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    const int64_t absurd = int64_t{1} << 60;
+    f.seekp(16);
+    f.write(reinterpret_cast<const char*>(&absurd), sizeof(absurd));
+  }
+  StatusOr<CondensedGraph> back = LoadCondensedGraph(path);
+  ASSERT_FALSE(back.ok());
+  EXPECT_EQ(back.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(ArtifactIoTest, TruncatedArtifactIsCleanError) {
+  const std::string path = ::testing::TempDir() + "/truncated_artifact.bin";
+  ASSERT_TRUE(SaveCondensedGraph(path, SmallArtifact()).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  // Every truncation point must produce an error Status, never a crash.
+  for (size_t cut : {bytes.size() / 2, bytes.size() / 4, size_t{20}}) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(cut));
+    out.close();
+    EXPECT_FALSE(LoadCondensedGraph(path).ok()) << "cut=" << cut;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ArtifactIoTest, MappingShapeMismatchIsRejected) {
+  // Save never validates; load must — mapping columns have to match the
+  // synthetic node count or downstream compose CHECK-aborts.
+  CondensedGraph cg = SmallArtifact();
+  cg.mapping = CsrMatrix::FromTriplets(50, 99, {{0, 0, 1.0f}});
+  const std::string path = ::testing::TempDir() + "/bad_mapping.bin";
+  ASSERT_TRUE(SaveCondensedGraph(path, cg).ok());
+  StatusOr<CondensedGraph> back = LoadCondensedGraph(path);
+  ASSERT_FALSE(back.ok());
+  EXPECT_EQ(back.status().code(), StatusCode::kInvalidArgument);
   std::remove(path.c_str());
 }
 

@@ -10,16 +10,25 @@
 # logits_per_request* counterpart — the session path is bit-identical to
 # the per-request path, not just self-consistent (docs/performance.md).
 #
+# When given a bench_condense_scale binary it also proves the out-of-core
+# contract: its --smoke digests must match between the two widths, AND
+# within each run every streamed_<tag> digest must equal its resident_<tag>
+# counterpart — the segment-store kernels (SpMM, normalization, propagation)
+# and a full condense round are bit-identical to the resident path at every
+# thread count and segment partition (docs/performance.md).
+#
 # Usage: check_determinism.sh <path-to-bench_kernels> [wide_thread_count]
 #                             [path-to-bench_serving_throughput]
+#                             [path-to-bench_condense_scale]
 # Registered as a ctest (see bench/CMakeLists.txt), so `ctest` runs it on
 # every build — including the single-core CI case, where the wide run still
 # exercises the pool's worker threads via preemption.
 set -euo pipefail
 
-BENCH="${1:?usage: check_determinism.sh <bench_kernels binary> [threads] [bench_serving_throughput binary]}"
+BENCH="${1:?usage: check_determinism.sh <bench_kernels binary> [threads] [bench_serving_throughput binary] [bench_condense_scale binary]}"
 WIDE="${2:-8}"
 SERVING="${3:-}"
+CONDENSE="${4:-}"
 
 narrow=$(MCOND_NUM_THREADS=1 "$BENCH" --smoke | grep -v '^threads ')
 wide=$(MCOND_NUM_THREADS="$WIDE" "$BENCH" --smoke | grep -v '^threads ')
@@ -92,4 +101,46 @@ if [[ -n "$SERVING" ]]; then
 
   echo "OK: serving checksums identical at 1 and $WIDE threads, session == per-request, concurrent == solo at K=1 and K=8"
   echo "$s_narrow"
+fi
+
+if [[ -n "$CONDENSE" ]]; then
+  c_narrow=$(MCOND_NUM_THREADS=1 "$CONDENSE" --smoke | grep -v '^threads ')
+  c_wide=$(MCOND_NUM_THREADS="$WIDE" "$CONDENSE" --smoke | grep -v '^threads ')
+
+  if [[ "$c_narrow" != "$c_wide" ]]; then
+    echo "DETERMINISM FAILURE: out-of-core checksums differ between 1 and $WIDE threads" >&2
+    diff <(echo "$c_narrow") <(echo "$c_wide") >&2 || true
+    exit 1
+  fi
+
+  # Pair check: every streamed_<tag> must equal resident_<tag> — the
+  # segment-store path changes no bits relative to the resident path.
+  paired=0
+  while read -r name digest; do
+    case "$name" in
+      resident_*)
+        tag="${name#resident_}"
+        streamed=$(echo "$c_narrow" | awk -v n="streamed_$tag" \
+                   '$1 == n {print $2}')
+        if [[ -z "$streamed" ]]; then
+          echo "DETERMINISM FAILURE: no streamed_$tag line to pair with $name" >&2
+          exit 1
+        fi
+        if [[ "$streamed" != "$digest" ]]; then
+          echo "DETERMINISM FAILURE: streamed '$tag' differs from resident" >&2
+          echo "  resident $digest" >&2
+          echo "  streamed $streamed" >&2
+          exit 1
+        fi
+        paired=$((paired + 1))
+        ;;
+    esac
+  done <<< "$c_narrow"
+  if [[ "$paired" -eq 0 ]]; then
+    echo "DETERMINISM FAILURE: no resident_* digests in bench_condense_scale --smoke output" >&2
+    exit 1
+  fi
+
+  echo "OK: out-of-core checksums identical at 1 and $WIDE threads, streamed == resident for $paired kernels"
+  echo "$c_narrow"
 fi

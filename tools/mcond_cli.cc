@@ -4,6 +4,10 @@
 //       List the built-in simulated datasets.
 //   mcond_cli condense --dataset reddit-sim --ratio 0.02 --out S.bin
 //       Run Algorithm 1 and write the condensed artifact.
+//       --mem_budget_mb M runs the out-of-core path: the training graph is
+//       spilled to segment stores next to --out and condensation streams it
+//       under an M-MB mapped-segment budget, with results bit-identical to
+//       the resident path (docs/performance.md "Out-of-core condensation").
 //   mcond_cli inspect S.bin
 //       Print artifact statistics.
 //   mcond_cli serve --dataset reddit-sim --artifact S.bin [--node-batch]
@@ -55,11 +59,13 @@
 #include "core/simd.h"
 #include "data/datasets.h"
 #include "eval/batching.h"
+#include "graph/sharded_ops.h"
 #include "eval/inference.h"
 #include "nn/trainer.h"
 #include "obs/export.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/resource.h"
 #include "obs/trace.h"
 #include "serve/concurrent_server.h"
 #include "serve/serving_session.h"
@@ -134,8 +140,29 @@ int CmdCondense(const Args& args) {
   config.outer_rounds =
       std::max<int64_t>(1, s.condensation_epochs / 15);
   config.verbose = args.flags.count("verbose") > 0;
-  MCondResult result =
-      RunMCond(data.train_graph, data.val, n_syn, config, seed);
+  const int64_t mem_budget_mb =
+      std::stoll(FlagOr(args, "mem_budget_mb", "0"));
+  MCondResult result;
+  if (mem_budget_mb > 0) {
+    const std::string shard_dir = out + ".shards";
+    StatusOr<ShardedGraph> sharded = ShardGraph(
+        data.train_graph, shard_dir, ShardOptions(),
+        mem_budget_mb * (int64_t{1} << 20));
+    if (!sharded.ok()) {
+      std::cerr << sharded.status().ToString() << "\n";
+      return 1;
+    }
+    std::cout << "out-of-core: "
+              << sharded.value().adjacency->NumSegments() << "+"
+              << sharded.value().normalized->NumSegments()
+              << " segments in " << shard_dir << " under " << mem_budget_mb
+              << " MB budget\n";
+    result = RunMCondSharded(sharded.value(), data.val, n_syn, config, seed);
+    std::cout << "peak RSS " << obs::RecordRssMetrics() / (1 << 20)
+              << " MB\n";
+  } else {
+    result = RunMCond(data.train_graph, data.val, n_syn, config, seed);
+  }
   Status status = SaveCondensedGraph(out, result.condensed);
   if (!status.ok()) {
     std::cerr << status.ToString() << "\n";
