@@ -12,13 +12,19 @@
 //       forced into >= 4 segments. tools/check_determinism.sh diffs the
 //       output between MCOND_NUM_THREADS=1 and N and pair-checks each
 //       streamed digest against its resident twin.
-//   bench_condense_scale --one <nodes> <budget_mb>
+//   bench_condense_scale --one <nodes> <budget_mb> [prefetch]
 //       Runs one generate+condense at the given budget in THIS process and
 //       prints a single machine-readable ROW line. Peak RSS (VmHWM) is
-//       monotone per process, so --json runs each budget in a child.
+//       monotone per process, so --json runs each budget in a child. The
+//       optional prefetch arg pins the segment-prefetch depth (default:
+//       ambient MCOND_PREFETCH_SEGMENTS); store files are fadvise-dropped
+//       from the page cache between generation and condense so the condense
+//       phase does cold reads — the workload prefetch exists for.
 //   bench_condense_scale --json [nodes]
-//       Spawns --one for budgets {unbounded, 512, 128} and emits the
-//       BENCH_condense.json document on stdout.
+//       Spawns --one for budgets {unbounded, 512, 128}, the budgeted rows
+//       both with prefetch off and on, and emits the BENCH_condense.json
+//       document on stdout.
+#include <fcntl.h>
 #include <unistd.h>
 
 #include <cinttypes>
@@ -33,6 +39,7 @@
 
 #include "condense/mcond.h"
 #include "core/parallel.h"
+#include "core/segment_prefetcher.h"
 #include "core/simd.h"
 #include "core/tensor_ops.h"
 #include "data/synthetic.h"
@@ -96,6 +103,7 @@ int RunSmoke() {
   }
   std::printf("threads %d\n", ThreadPool::Global().NumThreads());
   std::printf("simd %s\n", simd::TierName(simd::ActiveTier()));
+  std::printf("prefetch %" PRId64 "\n", PrefetchSegments());
 
   SbmConfig config;
   config.num_nodes = 140;
@@ -123,8 +131,9 @@ int RunSmoke() {
               [&] {
                 uint64_t h = 1469598103934665603ull;
                 const ShardedCsr& norm = *sharded.value().normalized;
+                SequentialCursor cursor(norm);
                 for (int64_t s = 0; s < norm.NumSegments(); ++s) {
-                  StatusOr<PinnedSegment> pin = norm.Pin(s);
+                  StatusOr<PinnedSegment> pin = cursor.Next();
                   MCOND_CHECK(pin.ok());
                   HashBits(&h, pin.value().values(), pin.value().view().nnz);
                 }
@@ -216,9 +225,23 @@ HeldOutBatch MakeSupportBatch(int64_t n_orig, int64_t num_classes,
   return batch;
 }
 
-int RunOne(int64_t nodes, int64_t budget_mb) {
+// Best-effort drop of `path` from the page cache (dirty pages are synced
+// first — DONTNEED skips them otherwise). Pages a store still has mapped
+// stay resident; freshly written, unmapped store files go cold, which is
+// the state a real multi-pass condense starts each pass from.
+void DropPageCache(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::posix_fadvise(fd, 0, 0, POSIX_FADV_DONTNEED);
+  ::close(fd);
+}
+
+int RunOne(int64_t nodes, int64_t budget_mb, int64_t prefetch) {
+  if (prefetch >= 0) SetPrefetchSegments(prefetch);
   const SbmConfig config = XlConfig(nodes);
-  const std::string dir = ScratchDir("b" + std::to_string(budget_mb));
+  const std::string dir = ScratchDir("b" + std::to_string(budget_mb) + "_p" +
+                                     std::to_string(PrefetchSegments()));
   const int64_t budget_bytes = budget_mb << 20;
 
   Rng rng(17);
@@ -229,6 +252,8 @@ int RunOne(int64_t nodes, int64_t budget_mb) {
     std::fprintf(stderr, "generate: %s\n", graph.status().ToString().c_str());
     return 1;
   }
+  DropPageCache(graph.value().adjacency->path());
+  DropPageCache(graph.value().normalized->path());
   const auto t1 = std::chrono::steady_clock::now();
 
   Rng sup_rng(5);
@@ -258,12 +283,13 @@ int RunOne(int64_t nodes, int64_t budget_mb) {
   const double gen_sec = std::chrono::duration<double>(t1 - t0).count();
   const double condense_sec = std::chrono::duration<double>(t2 - t1).count();
 
-  std::printf("ROW nodes=%" PRId64 " budget_mb=%" PRId64 " nnz=%" PRId64
+  std::printf("ROW nodes=%" PRId64 " budget_mb=%" PRId64 " prefetch=%" PRId64
+              " nnz=%" PRId64
               " segments=%" PRId64 " gen_sec=%.2f condense_sec=%.2f"
               " nodes_per_sec=%.1f peak_rss_bytes=%" PRId64
               " resident_footprint_bytes=%" PRId64 " store_bytes=%" PRId64
               "\n",
-              nodes, budget_mb, nnz,
+              nodes, budget_mb, PrefetchSegments(), nnz,
               g.adjacency->NumSegments() + g.normalized->NumSegments(),
               gen_sec, condense_sec, nodes / condense_sec,
               obs::PeakRssBytes(), resident_footprint, store_bytes);
@@ -279,12 +305,20 @@ int RunOne(int64_t nodes, int64_t budget_mb) {
 // ---------------------------------------------------------------------------
 
 int RunJson(const char* self, int64_t nodes) {
-  const int64_t budgets[] = {0, 512, 128};
+  // The budgeted rows run with prefetch off and on so the baseline captures
+  // the overlap win on the same host; the unbounded row keeps the default
+  // depth (prefetch is near-neutral when nothing is ever evicted).
+  struct Case {
+    int64_t budget_mb;
+    int64_t prefetch;
+  };
+  const Case cases[] = {{0, 2}, {512, 0}, {512, 2}, {128, 0}, {128, 2}};
   std::vector<std::string> rows;
-  for (int64_t budget : budgets) {
+  for (const Case& c : cases) {
     const std::string cmd = std::string(self) + " --one " +
                             std::to_string(nodes) + " " +
-                            std::to_string(budget);
+                            std::to_string(c.budget_mb) + " " +
+                            std::to_string(c.prefetch);
     std::fprintf(stderr, "running: %s\n", cmd.c_str());
     FILE* pipe = ::popen(cmd.c_str(), "r");
     if (pipe == nullptr) {
@@ -298,7 +332,8 @@ int RunJson(const char* self, int64_t nodes) {
       std::fputs(line, stderr);
     }
     if (::pclose(pipe) != 0 || row.empty()) {
-      std::fprintf(stderr, "budget %" PRId64 " run failed\n", budget);
+      std::fprintf(stderr, "budget %" PRId64 " prefetch %" PRId64
+                   " run failed\n", c.budget_mb, c.prefetch);
       return 1;
     }
     rows.push_back(row);
@@ -322,8 +357,11 @@ int RunJson(const char* self, int64_t nodes) {
       "process; resident_footprint_bytes is what the resident-CSR path "
       "would hold (adjacency + normalized + features + labels). The "
       "acceptance gate is peak_rss_bytes < resident_footprint_bytes on the "
-      "budgeted rows. Streamed kernels are bit-identical to resident "
-      "(ctest check_determinism + sharded_condense_test).\",\n");
+      "budgeted rows. Budgeted rows run with segment prefetch off "
+      "(prefetch=0) and on (prefetch=2, double buffering) over fadvise-"
+      "cooled store files; prefetch changes wall-clock only — results are "
+      "bit-identical at every depth. Streamed kernels are bit-identical to "
+      "resident (ctest check_determinism + sharded_condense_test).\",\n");
   std::printf("  \"context\": {\"num_cpus\": %ld, \"threads\": %d},\n",
               ::sysconf(_SC_NPROCESSORS_ONLN),
               ThreadPool::Global().NumThreads());
@@ -331,13 +369,15 @@ int RunJson(const char* self, int64_t nodes) {
   for (size_t i = 0; i < rows.size(); ++i) {
     const std::string& r = rows[i];
     const std::string budget = field(r, "budget_mb");
+    const std::string prefetch = field(r, "prefetch");
     std::printf(
-        "    {\"name\": \"condense_xl/budget_%s_mb\", \"nodes\": %s, "
+        "    {\"name\": \"condense_xl/budget_%s_mb/prefetch_%s\", "
+        "\"nodes\": %s, \"prefetch\": %s, "
         "\"nnz\": %s, \"gen_sec\": %s, \"condense_sec\": %s, "
         "\"nodes_per_sec\": %s, \"peak_rss_bytes\": %s, "
         "\"resident_footprint_bytes\": %s, \"store_bytes\": %s}%s\n",
-        budget == "0" ? "unbounded" : budget.c_str(),
-        field(r, "nodes").c_str(), field(r, "nnz").c_str(),
+        budget == "0" ? "unbounded" : budget.c_str(), prefetch.c_str(),
+        field(r, "nodes").c_str(), prefetch.c_str(), field(r, "nnz").c_str(),
         field(r, "gen_sec").c_str(), field(r, "condense_sec").c_str(),
         field(r, "nodes_per_sec").c_str(), field(r, "peak_rss_bytes").c_str(),
         field(r, "resident_footprint_bytes").c_str(),
@@ -354,7 +394,9 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) return mcond::RunSmoke();
     if (std::strcmp(argv[i], "--one") == 0 && i + 2 < argc) {
-      return mcond::RunOne(std::atoll(argv[i + 1]), std::atoll(argv[i + 2]));
+      const int64_t prefetch = (i + 3 < argc) ? std::atoll(argv[i + 3]) : -1;
+      return mcond::RunOne(std::atoll(argv[i + 1]), std::atoll(argv[i + 2]),
+                           prefetch);
     }
     if (std::strcmp(argv[i], "--json") == 0) {
       const int64_t nodes =
@@ -363,7 +405,7 @@ int main(int argc, char** argv) {
     }
   }
   std::fprintf(stderr,
-               "usage: %s --smoke | --one <nodes> <budget_mb> | "
+               "usage: %s --smoke | --one <nodes> <budget_mb> [prefetch] | "
                "--json [nodes]\n",
                argv[0]);
   return 2;

@@ -9,7 +9,10 @@
 #include <cerrno>
 #include <cstring>
 #include <mutex>
+#include <utility>
 
+#include "core/segment_prefetcher.h"
+#include "core/sharded_csr_state.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 
@@ -48,57 +51,122 @@ bool ReadPod(std::istream& in, T* value) {
 
 namespace internal {
 
-/// Mutable mapping state, kept behind a shared_ptr so ShardedCsr stays
-/// movable while outstanding PinnedSegments reference it directly.
-struct ShardedCsrState {
-  struct Mapped {
-    void* addr = nullptr;
-    size_t map_len = 0;
-    int64_t pin_count = 0;
-    uint64_t last_use = 0;
-  };
-
-  ~ShardedCsrState() {
-    for (Mapped& m : mapped) {
-      if (m.addr != nullptr) ::munmap(m.addr, m.map_len);
-    }
-    if (fd >= 0) ::close(fd);
+ShardedCsrState::~ShardedCsrState() {
+  // The prefetch worker pins through this state: stop it (and release its
+  // ready pins) before tearing the mappings down.
+  prefetcher.reset();
+  for (Mapped& m : mapped) {
+    if (m.addr != nullptr) ::munmap(m.addr, m.map_len);
   }
+  if (fd >= 0) ::close(fd);
+}
 
-  /// Evicts unpinned mapped segments (oldest use first) until the resident
-  /// payload fits the budget. Caller holds `mu`.
-  void EvictToBudgetLocked() {
-    if (mem_budget_bytes <= 0) return;
-    while (resident_bytes > mem_budget_bytes) {
-      int64_t victim = -1;
-      uint64_t oldest = ~uint64_t{0};
-      for (size_t i = 0; i < mapped.size(); ++i) {
-        const Mapped& m = mapped[i];
-        if (m.addr != nullptr && m.pin_count == 0 && m.last_use < oldest) {
-          oldest = m.last_use;
-          victim = static_cast<int64_t>(i);
-        }
+void ShardedCsrState::CollectEvictionsLocked(EvictedMappings* evicted) {
+  if (mem_budget_bytes <= 0) return;
+  while (resident_bytes > mem_budget_bytes) {
+    int64_t victim = -1;
+    uint64_t oldest = ~uint64_t{0};
+    for (size_t i = 0; i < mapped.size(); ++i) {
+      const Mapped& m = mapped[i];
+      if (m.addr != nullptr && m.pin_count == 0 && m.last_use < oldest) {
+        oldest = m.last_use;
+        victim = static_cast<int64_t>(i);
       }
-      if (victim < 0) break;  // Everything resident is pinned: overshoot.
-      Mapped& m = mapped[static_cast<size_t>(victim)];
-      ::munmap(m.addr, m.map_len);
-      resident_bytes -= payload_bytes[static_cast<size_t>(victim)];
-      m.addr = nullptr;
-      m.map_len = 0;
-      obs::GetCounter("mcond.shard.evictions").Increment();
+    }
+    if (victim < 0) break;  // Everything resident is pinned: overshoot.
+    Mapped& m = mapped[static_cast<size_t>(victim)];
+    evicted->emplace_back(m.addr, m.map_len);
+    resident_bytes -= payload_bytes[static_cast<size_t>(victim)];
+    m.addr = nullptr;
+    m.map_len = 0;
+    obs::GetCounter("mcond.shard.evictions").Increment();
+    obs::GetGauge("mcond.shard.resident_bytes")
+        .Set(static_cast<double>(resident_bytes));
+  }
+}
+
+void ShardedCsrState::ReleaseMappings(EvictedMappings* evicted) {
+  for (const auto& [addr, len] : *evicted) {
+    // Tell the kernel the pages are dead before unmapping so reclaim happens
+    // now rather than whenever the unmap's deferred accounting runs.
+    ::madvise(addr, len, MADV_DONTNEED);
+    ::munmap(addr, len);
+  }
+  evicted->clear();
+}
+
+StatusOr<PinnedSegment> ShardedCsrState::PinSegment(int64_t index) {
+  const ShardedCsr::Segment& seg = segments[static_cast<size_t>(index)];
+  EvictedMappings evicted;
+  CsrSegmentView view;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    Mapped& m = mapped[static_cast<size_t>(index)];
+    if (m.addr == nullptr) {
+      // mmap beyond EOF "succeeds" and SIGBUSes on first touch — if the file
+      // shrank since Open (truncated underneath us), fail here with a Status
+      // instead of crashing inside a kernel loop.
+      struct stat fs;
+      if (::fstat(fd, &fs) != 0 ||
+          static_cast<int64_t>(fs.st_size) < seg.file_offset + seg.byte_size) {
+        return Status::Internal(
+            "sharded csr: segment " + std::to_string(index) +
+            " extends past end of file (store truncated after open?)");
+      }
+      void* addr = ::mmap(nullptr, static_cast<size_t>(seg.byte_size),
+                          PROT_READ, MAP_SHARED, fd, seg.file_offset);
+      if (addr == MAP_FAILED) {
+        return Status::Internal("sharded csr: mmap failed for segment " +
+                                std::to_string(index) + ": " +
+                                std::strerror(errno));
+      }
+      ::madvise(addr, static_cast<size_t>(seg.byte_size), MADV_WILLNEED);
+      m.addr = addr;
+      m.map_len = static_cast<size_t>(seg.byte_size);
+      resident_bytes += seg.byte_size;
+      obs::GetCounter("mcond.shard.mmaps").Increment();
+      obs::GetCounter("mcond.shard.io_bytes").Increment(seg.byte_size);
       obs::GetGauge("mcond.shard.resident_bytes")
           .Set(static_cast<double>(resident_bytes));
     }
-  }
+    if (m.pin_count == 0) {
+      pinned_bytes.fetch_add(seg.byte_size, std::memory_order_relaxed);
+    }
+    ++m.pin_count;
+    m.last_use = ++use_tick;
+    CollectEvictionsLocked(&evicted);
+    obs::GetCounter("mcond.shard.pins").Increment();
 
-  int fd = -1;
-  int64_t mem_budget_bytes = 0;
-  int64_t resident_bytes = 0;
-  uint64_t use_tick = 0;
-  std::vector<Mapped> mapped;
-  std::vector<int64_t> payload_bytes;  // per segment
-  std::mutex mu;
-};
+    view.index = index;
+    view.row_begin = seg.row_begin;
+    view.row_end = seg.row_end;
+    view.nnz = seg.nnz;
+    const char* base = static_cast<const char*>(m.addr);
+    view.row_ptr = reinterpret_cast<const int64_t*>(base);
+    const int64_t nrows = seg.row_end - seg.row_begin;
+    view.col_idx = reinterpret_cast<const int32_t*>(
+        base + (nrows + 1) * static_cast<int64_t>(sizeof(int64_t)));
+    view.values = reinterpret_cast<const float*>(
+        base + (nrows + 1) * static_cast<int64_t>(sizeof(int64_t)) +
+        seg.nnz * static_cast<int64_t>(sizeof(int32_t)));
+  }
+  ReleaseMappings(&evicted);
+  return PinnedSegment(this, view);
+}
+
+void ShardedCsrState::Unpin(int64_t index) {
+  EvictedMappings evicted;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    Mapped& m = mapped[static_cast<size_t>(index)];
+    if (--m.pin_count == 0) {
+      pinned_bytes.fetch_sub(payload_bytes[static_cast<size_t>(index)],
+                             std::memory_order_relaxed);
+    }
+    CollectEvictionsLocked(&evicted);
+  }
+  ReleaseMappings(&evicted);
+}
 
 }  // namespace internal
 
@@ -125,10 +193,9 @@ PinnedSegment::~PinnedSegment() { Release(); }
 
 void PinnedSegment::Release() {
   if (state_ == nullptr) return;
-  std::lock_guard<std::mutex> lock(state_->mu);
-  --state_->mapped[static_cast<size_t>(view_.index)].pin_count;
-  state_->EvictToBudgetLocked();
+  internal::ShardedCsrState* st = state_;
   state_ = nullptr;
+  st->Unpin(view_.index);
 }
 
 // ---------------------------------------------------------------------------
@@ -408,6 +475,7 @@ StatusOr<ShardedCsr> ShardedCsr::Open(const std::string& path,
   s.state_ = std::make_shared<internal::ShardedCsrState>();
   s.state_->fd = fd;
   s.state_->mem_budget_bytes = mem_budget_bytes;
+  s.state_->segments = s.segments_;
   s.state_->mapped.resize(s.segments_.size());
   s.state_->payload_bytes.reserve(s.segments_.size());
   for (const Segment& seg : s.segments_) {
@@ -442,63 +510,57 @@ StatusOr<PinnedSegment> ShardedCsr::Pin(int64_t index) const {
   if (index < 0 || index >= NumSegments()) {
     return Status::OutOfRange("sharded csr: segment index out of range");
   }
-  const Segment& seg = segments_[static_cast<size_t>(index)];
-  internal::ShardedCsrState* st = state_.get();
-  std::lock_guard<std::mutex> lock(st->mu);
-  internal::ShardedCsrState::Mapped& m =
-      st->mapped[static_cast<size_t>(index)];
-  if (m.addr == nullptr) {
-    // mmap beyond EOF "succeeds" and SIGBUSes on first touch — if the file
-    // shrank since Open (truncated underneath us), fail here with a Status
-    // instead of crashing inside a kernel loop.
-    struct stat fs;
-    if (::fstat(st->fd, &fs) != 0 ||
-        static_cast<int64_t>(fs.st_size) < seg.file_offset + seg.byte_size) {
-      return Status::Internal(
-          "sharded csr: segment " + std::to_string(index) +
-          " extends past end of file (store truncated after open?)");
-    }
-    void* addr = ::mmap(nullptr, static_cast<size_t>(seg.byte_size),
-                        PROT_READ, MAP_SHARED, st->fd, seg.file_offset);
-    if (addr == MAP_FAILED) {
-      return Status::Internal("sharded csr: mmap failed for segment " +
-                              std::to_string(index) + ": " +
-                              std::strerror(errno));
-    }
-    ::madvise(addr, static_cast<size_t>(seg.byte_size), MADV_WILLNEED);
-    m.addr = addr;
-    m.map_len = static_cast<size_t>(seg.byte_size);
-    st->resident_bytes += seg.byte_size;
-    obs::GetCounter("mcond.shard.mmaps").Increment();
-    obs::GetCounter("mcond.shard.io_bytes").Increment(seg.byte_size);
-    obs::GetGauge("mcond.shard.resident_bytes")
-        .Set(static_cast<double>(st->resident_bytes));
-  }
-  ++m.pin_count;
-  m.last_use = ++st->use_tick;
-  st->EvictToBudgetLocked();
-  obs::GetCounter("mcond.shard.pins").Increment();
+  return state_->PinSegment(index);
+}
 
-  CsrSegmentView view;
-  view.index = index;
-  view.row_begin = seg.row_begin;
-  view.row_end = seg.row_end;
-  view.nnz = seg.nnz;
-  const char* base = static_cast<const char*>(m.addr);
-  view.row_ptr = reinterpret_cast<const int64_t*>(base);
-  const int64_t nrows = seg.row_end - seg.row_begin;
-  view.col_idx = reinterpret_cast<const int32_t*>(
-      base + (nrows + 1) * static_cast<int64_t>(sizeof(int64_t)));
-  view.values = reinterpret_cast<const float*>(
-      base + (nrows + 1) * static_cast<int64_t>(sizeof(int64_t)) +
-      seg.nnz * static_cast<int64_t>(sizeof(int32_t)));
-  return PinnedSegment(st, view);
+void ShardedCsr::PrefetchHint(int64_t row_begin, int64_t row_end) const {
+  if (!state_) return;
+  row_begin = std::max<int64_t>(row_begin, 0);
+  row_end = std::min(row_end, rows_);
+  if (row_begin >= row_end) return;
+  const int64_t first = SegmentForRow(row_begin);
+  const int64_t last = SegmentForRow(row_end - 1);
+  std::vector<int64_t> order;
+  order.reserve(static_cast<size_t>(last - first + 1));
+  for (int64_t i = first; i <= last; ++i) order.push_back(i);
+  PrefetchHintSegments(std::move(order));
+}
+
+void ShardedCsr::PrefetchHintSegments(std::vector<int64_t> order) const {
+  if (!state_ || order.empty()) return;
+  for (int64_t i : order) {
+    if (i < 0 || i >= NumSegments()) return;
+  }
+  const int64_t depth = PrefetchSegments();
+  if (depth <= 0) return;
+  SegmentPrefetcher* p = state_->EnsurePrefetcher(depth);
+  if (p != nullptr) p->Hint(std::move(order));
+}
+
+StatusOr<PinnedSegment> ShardedCsr::PinPrefetched(int64_t index) const {
+  if (index < 0 || index >= NumSegments()) {
+    return Status::OutOfRange("sharded csr: segment index out of range");
+  }
+  SegmentPrefetcher* p = state_->prefetcher_or_null();
+  if (p == nullptr) return state_->PinSegment(index);
+  return p->AcquireOrPin(index);
+}
+
+void ShardedCsr::CancelPrefetch() const {
+  if (!state_) return;
+  SegmentPrefetcher* p = state_->prefetcher_or_null();
+  if (p != nullptr) p->Cancel();
 }
 
 int64_t ShardedCsr::ResidentBytes() const {
   if (!state_) return 0;
   std::lock_guard<std::mutex> lock(state_->mu);
   return state_->resident_bytes;
+}
+
+int64_t ShardedCsr::PinnedBytes() const {
+  if (!state_) return 0;
+  return state_->pinned_bytes.load(std::memory_order_relaxed);
 }
 
 int64_t ShardedCsr::StorageBytes() const {

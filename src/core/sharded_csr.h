@@ -44,6 +44,8 @@ namespace internal {
 struct ShardedCsrState;
 }  // namespace internal
 
+class SegmentPrefetcher;
+
 /// RAII pin of one segment: the mapping is guaranteed to stay resident (the
 /// LRU never evicts a pinned segment) until this object is destroyed. Move-
 /// only; the owning ShardedCsr must outlive every pin.
@@ -63,6 +65,7 @@ class PinnedSegment {
 
  private:
   friend class ShardedCsr;
+  friend struct internal::ShardedCsrState;
   PinnedSegment(internal::ShardedCsrState* state, CsrSegmentView view)
       : state_(state), view_(view) {}
   void Release();
@@ -192,13 +195,42 @@ class ShardedCsr {
   /// valid until the PinnedSegment is destroyed.
   StatusOr<PinnedSegment> Pin(int64_t index) const;
 
+  // --- Asynchronous prefetch ----------------------------------------------
+  // A background worker (created lazily per store, depth =
+  // PrefetchSegments()) pins and faults in hinted segments ahead of the
+  // consumer. Purely a performance hint: results are bit-identical with
+  // prefetch on or off, and a hinted segment that cannot be fetched within
+  // the memory budget simply degrades to a synchronous Pin.
+
+  /// Hints that the segments covering rows [row_begin, row_end) will be
+  /// pinned next, in ascending order. Replaces any previous hint. No-op when
+  /// the ambient prefetch depth is 0, the store is unopened, or the clamped
+  /// range is empty.
+  void PrefetchHint(int64_t row_begin, int64_t row_end) const;
+  /// Same, with an explicit segment visit order. Orders containing an
+  /// out-of-range index are ignored wholesale.
+  void PrefetchHintSegments(std::vector<int64_t> order) const;
+  /// Pin that first consults the prefetcher: a completed prefetch is handed
+  /// over without touching the file, an in-flight one is waited for, and
+  /// anything else falls back to a synchronous Pin. Exactly Pin() when no
+  /// worker exists.
+  StatusOr<PinnedSegment> PinPrefetched(int64_t index) const;
+  /// Drops any outstanding hint and the worker's completed-but-unclaimed
+  /// pins. Safe with no hint active.
+  void CancelPrefetch() const;
+
   /// Bytes of segment payload currently mapped.
   int64_t ResidentBytes() const;
+  /// Payload bytes of currently pinned segments (subset of ResidentBytes).
+  /// The prefetcher's admission check keeps this within the budget.
+  int64_t PinnedBytes() const;
   int64_t mem_budget_bytes() const { return mem_budget_bytes_; }
   /// Total on-disk payload bytes (the resident-CSR-equivalent footprint).
   int64_t StorageBytes() const;
 
  private:
+  friend class SegmentPrefetcher;
+
   std::string path_;
   int64_t rows_ = 0;
   int64_t cols_ = 0;

@@ -1,0 +1,89 @@
+#ifndef MCOND_CORE_SHARDED_CSR_STATE_H_
+#define MCOND_CORE_SHARDED_CSR_STATE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "core/sharded_csr.h"
+#include "core/status.h"
+
+/// Internal mapping state shared by ShardedCsr, PinnedSegment and
+/// SegmentPrefetcher. Not part of the public API — include only from
+/// src/core implementation files and tests that exercise eviction or
+/// prefetch internals directly.
+
+namespace mcond {
+
+class SegmentPrefetcher;
+
+namespace internal {
+
+/// Mutable mapping state, kept behind a shared_ptr so ShardedCsr stays
+/// movable while outstanding PinnedSegments and the prefetch worker
+/// reference it directly.
+struct ShardedCsrState {
+  struct Mapped {
+    void* addr = nullptr;
+    size_t map_len = 0;
+    int64_t pin_count = 0;
+    uint64_t last_use = 0;
+  };
+  /// Mappings whose eviction was decided under `mu`. The release (madvise +
+  /// munmap) happens after the lock is dropped — munmap can block on TLB
+  /// shootdown and page reclaim, and nothing else touches a mapping once its
+  /// slot is cleared.
+  using EvictedMappings = std::vector<std::pair<void*, size_t>>;
+
+  ~ShardedCsrState();
+
+  /// Maps (if needed) and pins segment `index`, evicting to budget. The core
+  /// of ShardedCsr::Pin, callable without the owning ShardedCsr — the
+  /// prefetch worker holds only the state. `index` must be in range.
+  StatusOr<PinnedSegment> PinSegment(int64_t index);
+
+  /// Drops one pin on `index` and evicts to budget. Called by
+  /// PinnedSegment::Release.
+  void Unpin(int64_t index);
+
+  /// Evicts unpinned mapped segments (oldest use first) until the resident
+  /// payload fits the budget, collecting the doomed mappings instead of
+  /// unmapping inline. Caller holds `mu` and must pass the result to
+  /// ReleaseMappings *after* dropping the lock.
+  void CollectEvictionsLocked(EvictedMappings* evicted);
+
+  /// madvise(MADV_DONTNEED) + munmap, outside any lock.
+  static void ReleaseMappings(EvictedMappings* evicted);
+
+  /// Lazily creates this store's prefetch worker at the given depth (first
+  /// caller wins; later depths are ignored). Returns nullptr when depth <= 0
+  /// and no worker exists.
+  SegmentPrefetcher* EnsurePrefetcher(int64_t depth);
+  SegmentPrefetcher* prefetcher_or_null();
+
+  int fd = -1;
+  int64_t mem_budget_bytes = 0;
+  int64_t resident_bytes = 0;  // guarded by mu
+  uint64_t use_tick = 0;       // guarded by mu
+  std::vector<ShardedCsr::Segment> segments;  // immutable after Open
+  std::vector<Mapped> mapped;                 // guarded by mu
+  std::vector<int64_t> payload_bytes;         // immutable after Open
+  /// Payload bytes of segments with pin_count > 0 (a subset of
+  /// resident_bytes). Atomic so the prefetch worker's budget admission check
+  /// can read it without taking `mu`.
+  std::atomic<int64_t> pinned_bytes{0};
+  std::mutex mu;
+
+  /// Store-owned prefetch worker (lazy; see EnsurePrefetcher). Guarded by
+  /// prefetcher_mu, which is never taken while holding `mu`.
+  std::unique_ptr<SegmentPrefetcher> prefetcher;
+  std::mutex prefetcher_mu;
+};
+
+}  // namespace internal
+}  // namespace mcond
+
+#endif  // MCOND_CORE_SHARDED_CSR_STATE_H_

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "core/parallel.h"
+#include "core/segment_prefetcher.h"
 #include "core/simd.h"
 #include "core/simd_kernels.h"
 #include "core/tensor_ops.h"
@@ -53,11 +54,14 @@ void SpmmSegment(const CsrSegmentView& seg, const Tensor& x, Tensor* y,
       "graph.sharded_spmm");
 }
 
-/// Full streamed SpMM into a pre-zeroed output tensor.
+/// Full streamed SpMM into a pre-zeroed output tensor. The cursor declares
+/// the sequential pass up front so the prefetch worker maps and faults in
+/// segment i+1 while segment i is multiplying.
 Status SpmmAllSegments(const ShardedCsr& a, const Tensor& x, Tensor* y) {
   const int64_t grain = SpmmGrain(a.rows(), a.Nnz(), x.cols());
+  SequentialCursor cursor(a);
   for (int64_t i = 0; i < a.NumSegments(); ++i) {
-    StatusOr<PinnedSegment> pin = a.Pin(i);
+    StatusOr<PinnedSegment> pin = cursor.Next();
     if (!pin.ok()) return pin.status();
     SpmmSegment(pin.value().view(), x, y, grain);
   }
@@ -93,8 +97,9 @@ StatusOr<Tensor> ShardedSpMM(const ShardedCsr& a, const Tensor& x) {
 StatusOr<std::vector<float>> ShardedRowSums(const ShardedCsr& a) {
   std::vector<float> sums(static_cast<size_t>(a.rows()), 0.0f);
   const int64_t grain = SpmmGrain(a.rows(), a.Nnz(), /*d=*/1);
+  SequentialCursor cursor(a);
   for (int64_t i = 0; i < a.NumSegments(); ++i) {
-    StatusOr<PinnedSegment> pin = a.Pin(i);
+    StatusOr<PinnedSegment> pin = cursor.Next();
     if (!pin.ok()) return pin.status();
     const CsrSegmentView& seg = pin.value().view();
     float* out = sums.data() + seg.row_begin;
@@ -150,12 +155,20 @@ StatusOr<Tensor> ShardedPropagate(const ShardedCsr& a_hat, const Tensor& x,
       order.push_back({r, static_cast<int64_t>(i)});
     }
     std::sort(order.begin(), order.end());
+    // The kept rows' segment visit order is known now — declare it so the
+    // prefetcher works ahead even when the kept set skips segments.
+    std::vector<int64_t> schedule;
+    for (const auto& [row, pos] : order) {
+      const int64_t s = a_hat.SegmentForRow(row);
+      if (schedule.empty() || schedule.back() != s) schedule.push_back(s);
+    }
+    SequentialCursor cursor(a_hat, std::move(schedule));
     int64_t seg_idx = -1;
     PinnedSegment pin;
     for (const auto& [row, pos] : order) {
       const int64_t want = a_hat.SegmentForRow(row);
       if (want != seg_idx) {
-        StatusOr<PinnedSegment> p = a_hat.Pin(want);
+        StatusOr<PinnedSegment> p = cursor.Next();
         if (!p.ok()) return p.status();
         pin = std::move(p).value();
         seg_idx = want;
@@ -184,25 +197,28 @@ StatusOr<ShardedCsr> ShardedSymNormalize(const ShardedCsr& a,
   // AddSelfLoops(a).RowSums() (per-row double accumulator over ascending
   // columns).
   std::vector<float> deg(static_cast<size_t>(n), 0.0f);
-  for (int64_t i = 0; i < a.NumSegments(); ++i) {
-    StatusOr<PinnedSegment> pin = a.Pin(i);
-    if (!pin.ok()) return pin.status();
-    const CsrSegmentView& seg = pin.value().view();
-    for (int64_t r = 0; r < seg.NumRows(); ++r) {
-      const int64_t gr = seg.row_begin + r;
-      double acc = 0.0;
-      bool seen_diag = false;
-      for (int64_t k = seg.row_ptr[r]; k < seg.row_ptr[r + 1]; ++k) {
-        const int32_t c = seg.col_idx[k];
-        if (!seen_diag && c > gr) {
-          acc += kSelfLoop;
-          seen_diag = true;
+  {
+    SequentialCursor cursor(a);
+    for (int64_t i = 0; i < a.NumSegments(); ++i) {
+      StatusOr<PinnedSegment> pin = cursor.Next();
+      if (!pin.ok()) return pin.status();
+      const CsrSegmentView& seg = pin.value().view();
+      for (int64_t r = 0; r < seg.NumRows(); ++r) {
+        const int64_t gr = seg.row_begin + r;
+        double acc = 0.0;
+        bool seen_diag = false;
+        for (int64_t k = seg.row_ptr[r]; k < seg.row_ptr[r + 1]; ++k) {
+          const int32_t c = seg.col_idx[k];
+          if (!seen_diag && c > gr) {
+            acc += kSelfLoop;
+            seen_diag = true;
+          }
+          if (c == gr) seen_diag = true;
+          acc += seg.values[k];
         }
-        if (c == gr) seen_diag = true;
-        acc += seg.values[k];
+        if (!seen_diag) acc += kSelfLoop;
+        deg[static_cast<size_t>(gr)] = static_cast<float>(acc);
       }
-      if (!seen_diag) acc += kSelfLoop;
-      deg[static_cast<size_t>(gr)] = static_cast<float>(acc);
     }
   }
   std::vector<float> dinv_sqrt(deg.size());
@@ -219,8 +235,9 @@ StatusOr<ShardedCsr> ShardedSymNormalize(const ShardedCsr& a,
   if (!writer.ok()) return writer.status();
   std::vector<int32_t> row_cols;
   std::vector<float> row_vals;
+  SequentialCursor cursor(a);
   for (int64_t i = 0; i < a.NumSegments(); ++i) {
-    StatusOr<PinnedSegment> pin = a.Pin(i);
+    StatusOr<PinnedSegment> pin = cursor.Next();
     if (!pin.ok()) return pin.status();
     const CsrSegmentView& seg = pin.value().view();
     for (int64_t r = 0; r < seg.NumRows(); ++r) {
@@ -279,8 +296,9 @@ StatusOr<ShardedCsr> ShardedComposeBlockAdjacency(
   if (!writer.ok()) return writer.status();
   std::vector<int32_t> row_cols;
   std::vector<float> row_vals;
+  SequentialCursor cursor(base);
   for (int64_t i = 0; i < base.NumSegments(); ++i) {
-    StatusOr<PinnedSegment> pin = base.Pin(i);
+    StatusOr<PinnedSegment> pin = cursor.Next();
     if (!pin.ok()) return pin.status();
     const CsrSegmentView& seg = pin.value().view();
     for (int64_t r = 0; r < seg.NumRows(); ++r) {
@@ -330,6 +348,8 @@ StatusOr<EdgeBatch> ShardedSampleEdgeBatch(const ShardedCsr& adjacency,
   if (adjacency.rows() != adjacency.cols()) {
     return Status::InvalidArgument("sharded edge sample: non-square matrix");
   }
+  // Random access (RNG-driven segment order): plain Pin, no prefetch
+  // schedule to declare. The LRU keeps the hot segments mapped.
   const int64_t n = adjacency.rows();
   const int64_t nnz = adjacency.Nnz();
   EdgeBatch batch;

@@ -10,6 +10,7 @@
 
 #include "core/csr_matrix.h"
 #include "core/rng.h"
+#include "core/segment_prefetcher.h"
 
 namespace mcond {
 namespace {
@@ -253,6 +254,67 @@ TEST(ShardedCsrTest, TruncationAfterOpenFailsPinCleanly) {
   StatusOr<PinnedSegment> pin = sharded.value().Pin(0);
   EXPECT_FALSE(pin.ok());
   EXPECT_EQ(pin.status().code(), StatusCode::kInternal);
+  std::filesystem::remove(path);
+}
+
+TEST(ShardedCsrTest, PinnedBytesTracksPinLifetimes) {
+  const CsrMatrix m = RandomCsr(64, 64, 6, 31);
+  const std::string path = TempPath("sharded_pinned_bytes.mcss");
+  ShardOptions options;
+  options.max_rows_per_segment = 16;
+  ASSERT_TRUE(ShardedCsr::Write(m, path, options).ok());
+  StatusOr<ShardedCsr> sharded = ShardedCsr::Open(path);
+  ASSERT_TRUE(sharded.ok());
+  const ShardedCsr& store = sharded.value();
+  EXPECT_EQ(store.PinnedBytes(), 0);
+  {
+    StatusOr<PinnedSegment> a = store.Pin(0);
+    ASSERT_TRUE(a.ok());
+    EXPECT_EQ(store.PinnedBytes(), store.segment(0).byte_size);
+    // A second pin of the same segment must not double-count.
+    StatusOr<PinnedSegment> a2 = store.Pin(0);
+    ASSERT_TRUE(a2.ok());
+    EXPECT_EQ(store.PinnedBytes(), store.segment(0).byte_size);
+    StatusOr<PinnedSegment> b = store.Pin(2);
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(store.PinnedBytes(),
+              store.segment(0).byte_size + store.segment(2).byte_size);
+  }
+  EXPECT_EQ(store.PinnedBytes(), 0);
+  std::filesystem::remove(path);
+}
+
+TEST(ShardedCsrTest, PrefetchHintThenPinPrefetchedIsBitIdentical) {
+  const CsrMatrix m = RandomCsr(64, 64, 6, 37);
+  const std::string path = TempPath("sharded_prefetch_hint.mcss");
+  const int64_t saved_depth = PrefetchSegments();
+  SetPrefetchSegments(2);
+  {
+    ShardOptions options;
+    options.max_rows_per_segment = 16;
+    ASSERT_TRUE(ShardedCsr::Write(m, path, options).ok());
+    StatusOr<ShardedCsr> sharded = ShardedCsr::Open(path);
+    ASSERT_TRUE(sharded.ok());
+    const ShardedCsr& store = sharded.value();
+    store.PrefetchHint(0, store.rows());
+    for (int64_t s = 0; s < store.NumSegments(); ++s) {
+      StatusOr<PinnedSegment> pre = store.PinPrefetched(s);
+      StatusOr<PinnedSegment> plain = store.Pin(s);
+      ASSERT_TRUE(pre.ok()) << pre.status().ToString();
+      ASSERT_TRUE(plain.ok());
+      const CsrSegmentView& a = pre.value().view();
+      const CsrSegmentView& b = plain.value().view();
+      ASSERT_EQ(a.nnz, b.nnz);
+      for (int64_t r = 0; r <= a.row_end - a.row_begin; ++r) {
+        EXPECT_EQ(a.row_ptr[r], b.row_ptr[r]);
+      }
+      for (int64_t k = 0; k < a.nnz; ++k) {
+        EXPECT_EQ(a.col_idx[k], b.col_idx[k]);
+        EXPECT_EQ(a.values[k], b.values[k]);
+      }
+    }
+  }
+  SetPrefetchSegments(saved_depth);
   std::filesystem::remove(path);
 }
 

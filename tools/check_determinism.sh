@@ -11,11 +11,13 @@
 # the per-request path, not just self-consistent (docs/performance.md).
 #
 # When given a bench_condense_scale binary it also proves the out-of-core
-# contract: its --smoke digests must match between the two widths, AND
-# within each run every streamed_<tag> digest must equal its resident_<tag>
+# contract: its --smoke digests must match between the two widths AND
+# between prefetch off (MCOND_PREFETCH_SEGMENTS=0) and on (=3) — the
+# background segment prefetcher changes timing only, never bits. Within
+# each run every streamed_<tag> digest must equal its resident_<tag>
 # counterpart — the segment-store kernels (SpMM, normalization, propagation)
 # and a full condense round are bit-identical to the resident path at every
-# thread count and segment partition (docs/performance.md).
+# thread count, segment partition and prefetch depth (docs/performance.md).
 #
 # Usage: check_determinism.sh <path-to-bench_kernels> [wide_thread_count]
 #                             [path-to-bench_serving_throughput]
@@ -104,12 +106,30 @@ if [[ -n "$SERVING" ]]; then
 fi
 
 if [[ -n "$CONDENSE" ]]; then
-  c_narrow=$(MCOND_NUM_THREADS=1 "$CONDENSE" --smoke | grep -v '^threads ')
-  c_wide=$(MCOND_NUM_THREADS="$WIDE" "$CONDENSE" --smoke | grep -v '^threads ')
+  # Four combos: {1, WIDE} threads x prefetch {off, on}. The `threads` and
+  # `prefetch` echo lines differ by construction; every digest line must not.
+  c_narrow=$(MCOND_NUM_THREADS=1 MCOND_PREFETCH_SEGMENTS=0 "$CONDENSE" --smoke \
+             | grep -Ev '^(threads|prefetch) ')
+  c_wide=$(MCOND_NUM_THREADS="$WIDE" MCOND_PREFETCH_SEGMENTS=0 "$CONDENSE" --smoke \
+           | grep -Ev '^(threads|prefetch) ')
+  c_narrow_pf=$(MCOND_NUM_THREADS=1 MCOND_PREFETCH_SEGMENTS=3 "$CONDENSE" --smoke \
+                | grep -Ev '^(threads|prefetch) ')
+  c_wide_pf=$(MCOND_NUM_THREADS="$WIDE" MCOND_PREFETCH_SEGMENTS=3 "$CONDENSE" --smoke \
+              | grep -Ev '^(threads|prefetch) ')
 
   if [[ "$c_narrow" != "$c_wide" ]]; then
     echo "DETERMINISM FAILURE: out-of-core checksums differ between 1 and $WIDE threads" >&2
     diff <(echo "$c_narrow") <(echo "$c_wide") >&2 || true
+    exit 1
+  fi
+  if [[ "$c_narrow" != "$c_narrow_pf" ]]; then
+    echo "DETERMINISM FAILURE: out-of-core checksums differ between prefetch off and on (1 thread)" >&2
+    diff <(echo "$c_narrow") <(echo "$c_narrow_pf") >&2 || true
+    exit 1
+  fi
+  if [[ "$c_narrow" != "$c_wide_pf" ]]; then
+    echo "DETERMINISM FAILURE: out-of-core checksums differ between prefetch off and on ($WIDE threads)" >&2
+    diff <(echo "$c_narrow") <(echo "$c_wide_pf") >&2 || true
     exit 1
   fi
 
@@ -141,6 +161,6 @@ if [[ -n "$CONDENSE" ]]; then
     exit 1
   fi
 
-  echo "OK: out-of-core checksums identical at 1 and $WIDE threads, streamed == resident for $paired kernels"
+  echo "OK: out-of-core checksums identical at 1 and $WIDE threads, prefetch off and on, streamed == resident for $paired kernels"
   echo "$c_narrow"
 fi

@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
 # Enforces the metric naming convention at every registry call site:
 #
-#   mcond.<area>.<metric>[_<unit>]     e.g. mcond.server.queue_wait_us
+#   mcond.<area>[.<subarea>].<metric>[_<unit>]
+#   e.g. mcond.server.queue_wait_us, mcond.shard.prefetch.stall_us
 #
-# i.e. exactly three dot-separated segments, first one "mcond", the rest
+# i.e. three or four dot-separated segments, first one "mcond", the rest
 # lowercase [a-z0-9_]. Scans every GetCounter / GetGauge / GetHistogram /
 # GetSeries call in src/, tests/, bench/, tools/ and examples/:
 #
@@ -30,7 +31,7 @@ files=$(find "$root/src" "$root/tests" "$root/bench" "$root/tools" \
 # shellcheck disable=SC2086
 errors=$(awk '
 function valid(name) {
-  return name ~ /^mcond\.[a-z0-9_]+\.[a-z0-9_]+$/
+  return name ~ /^mcond\.[a-z0-9_]+(\.[a-z0-9_]+)?\.[a-z0-9_]+$/
 }
 FNR == 1 { prev1 = ""; prev2 = "" }
 /Get(Counter|Gauge|Histogram|Series)\(/ {
@@ -67,10 +68,10 @@ FNR == 1 { prev1 = ""; prev2 = "" }
 ' $files)
 
 if [ -n "$errors" ]; then
-  echo "error: metric naming violations (convention: mcond.<area>.<metric>[_<unit>],"
+  echo "error: metric naming violations (convention: mcond.<area>[.<subarea>].<metric>[_<unit>],"
   echo "see docs/observability.md):"
   echo "$errors"
   exit 1
 fi
-echo "OK: all metric names follow mcond.<area>.<metric>"
+echo "OK: all metric names follow mcond.<area>[.<subarea>].<metric>"
 exit 0

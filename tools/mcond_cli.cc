@@ -43,6 +43,12 @@
 //                  host or build lacks AVX2+FMA. The selected tier is
 //                  reported at startup (INFO log + mcond.simd.tier gauge,
 //                  visible in --metrics_out snapshots).
+//   --prefetch_segments N   out-of-core segment prefetch depth (default:
+//                  MCOND_PREFETCH_SEGMENTS, else 2; 0 disables). Streamed
+//                  kernels overlap the next segment's mmap + fault-in with
+//                  compute; results are bit-identical at every depth. The
+//                  depth is recorded in the mcond.shard.prefetch.depth
+//                  gauge (visible in --metrics_out snapshots).
 //
 // Exit code 0 on success; errors print a Status message to stderr.
 
@@ -56,6 +62,7 @@
 #include "condense/artifact_io.h"
 #include "condense/mcond.h"
 #include "core/parallel.h"
+#include "core/segment_prefetcher.h"
 #include "core/simd.h"
 #include "data/datasets.h"
 #include "eval/batching.h"
@@ -85,7 +92,12 @@ Args ParseArgs(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg.rfind("--", 0) == 0) {
       const std::string key = arg.substr(2);
-      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      const size_t eq = key.find('=');
+      if (eq != std::string::npos) {
+        // --key=value form.
+        args.flags[key.substr(0, eq)] = key.substr(eq + 1);
+      } else if (i + 1 < argc &&
+                 std::string(argv[i + 1]).rfind("--", 0) != 0) {
         args.flags[key] = argv[++i];
       } else {
         args.flags[key] = "1";  // Boolean flag.
@@ -367,6 +379,24 @@ bool SetupObservability(const Args& args) {
     // the first kernel call.
     (void)simd::ActiveTier();
   }
+  const std::string prefetch_text = FlagOr(args, "prefetch_segments", "");
+  if (!prefetch_text.empty()) {
+    int prefetch = -1;
+    try {
+      prefetch = std::stoi(prefetch_text);
+    } catch (...) {
+    }
+    if (prefetch < 0) {
+      std::cerr << "bad --prefetch_segments '" << prefetch_text
+                << "' (want an integer >= 0; 0 disables prefetch)\n";
+      return false;
+    }
+    SetPrefetchSegments(prefetch);
+  } else {
+    // Resolve MCOND_PREFETCH_SEGMENTS now so the mcond.shard.prefetch.depth
+    // gauge lands in --metrics_out snapshots even when no store is opened.
+    (void)PrefetchSegments();
+  }
   return true;
 }
 
@@ -428,7 +458,8 @@ int Run(int argc, char** argv) {
                  "[--log_level L] [--trace_out F] [--metrics_out F] "
                  "[--metrics_prom_out F] [--metrics_export_path F] "
                  "[--metrics_export_prom F] [--metrics_export_interval_ms N] "
-                 "[--threads N] [--simd auto|avx2|scalar] [flags]\n";
+                 "[--threads N] [--simd auto|avx2|scalar] "
+                 "[--prefetch_segments N] [flags]\n";
     return 1;
   }
   const std::string cmd = argv[1];
