@@ -1,0 +1,145 @@
+#include "net/net_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "core/logging.h"
+
+namespace mcond {
+namespace net {
+
+NetClient::~NetClient() { Close(); }
+
+Status NetClient::Connect(const std::string& host, int port) {
+  Close();
+  fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::InvalidArgument("bad IPv4 address '" + host + "'");
+  }
+  if (connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = Status::Internal("connect " + host + ":" +
+                                std::to_string(port) + ": " +
+                                std::strerror(errno));
+    Close();
+    return s;
+  }
+  const int one = 1;
+  setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Status::Ok();
+}
+
+void NetClient::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status NetClient::Call(std::string_view tenant, const HeldOutBatch& batch,
+                       bool graph_batch, NetResponse* out) {
+  const uint64_t id = next_id_++;
+  Status s = Send(id, tenant, batch, graph_batch);
+  if (!s.ok()) return s;
+  s = Receive(out);
+  if (!s.ok()) return s;
+  if (out->request_id != id) {
+    return Status::Internal(
+        "response id " + std::to_string(out->request_id) +
+        " does not match request id " + std::to_string(id) +
+        " (mixed Call and pipelined Send on one connection?)");
+  }
+  return Status::Ok();
+}
+
+Status NetClient::Send(uint64_t request_id, std::string_view tenant,
+                       const HeldOutBatch& batch, bool graph_batch) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  wire_.clear();
+  EncodeRequestFrame(request_id, tenant, batch, graph_batch, &wire_);
+  return WriteAll(wire_.data(), wire_.size());
+}
+
+Status NetClient::Receive(NetResponse* out) {
+  MCOND_CHECK(out != nullptr);
+  if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  uint8_t header_bytes[kFrameHeaderBytes];
+  Status s = ReadAll(header_bytes, sizeof(header_bytes));
+  if (!s.ok()) return s;
+  FrameHeader header;
+  s = ParseFrameHeader(header_bytes, sizeof(header_bytes),
+                       kDefaultMaxBodyBytes, &header);
+  if (!s.ok()) return s;
+  if (header.type != FrameType::kResponse) {
+    return Status::InvalidArgument("server sent a non-response frame");
+  }
+  body_.resize(static_cast<size_t>(header.body_len));
+  s = ReadAll(body_.data(), body_.size());
+  if (!s.ok()) return s;
+  ResponseView view;
+  s = ParseResponseBody(body_.data(), header.body_len, &view);
+  if (!s.ok()) return s;
+  out->request_id = view.request_id;
+  out->status = view.status;
+  out->reason = view.reason;
+  out->queue_wait_us = view.queue_wait_us;
+  out->service_us = view.service_us;
+  out->message.assign(view.message);
+  if (view.status == WireStatus::kOk) {
+    if (out->logits.rows() != view.n ||
+        out->logits.cols() != view.num_classes) {
+      out->logits = Tensor::Uninitialized(view.n, view.num_classes);
+    }
+    if (view.logits != nullptr) {
+      std::memcpy(out->logits.data(), view.logits,
+                  static_cast<size_t>(out->logits.size()) * sizeof(float));
+    }
+  } else {
+    out->logits = Tensor();
+  }
+  return Status::Ok();
+}
+
+Status NetClient::WriteAll(const uint8_t* data, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    const ssize_t wrote = send(fd_, data + off, len - off, MSG_NOSIGNAL);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("send: ") + std::strerror(errno));
+    }
+    off += static_cast<size_t>(wrote);
+  }
+  return Status::Ok();
+}
+
+Status NetClient::ReadAll(uint8_t* data, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    const ssize_t got = recv(fd_, data + off, len - off, 0);
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("recv: ") + std::strerror(errno));
+    }
+    if (got == 0) {
+      return Status::Internal("connection closed by the server");
+    }
+    off += static_cast<size_t>(got);
+  }
+  return Status::Ok();
+}
+
+}  // namespace net
+}  // namespace mcond

@@ -1,0 +1,78 @@
+#ifndef MCOND_NET_NET_CLIENT_H_
+#define MCOND_NET_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/status.h"
+#include "core/tensor.h"
+#include "graph/inductive.h"
+#include "net/wire.h"
+
+namespace mcond {
+namespace net {
+
+/// One decoded response. `logits` is populated (bit-verbatim from the
+/// wire) only when `status == WireStatus::kOk`; its buffer is reused
+/// across Receive calls of a stable shape.
+struct NetResponse {
+  uint64_t request_id = 0;
+  WireStatus status = WireStatus::kInternal;
+  RejectReason reason = RejectReason::kNone;
+  uint64_t queue_wait_us = 0;
+  uint64_t service_us = 0;
+  std::string message;
+  Tensor logits;
+};
+
+/// Blocking IPv4 client for the mcond wire protocol. Not thread-safe: one
+/// NetClient per client thread (the load generator runs N independent
+/// closed-loop clients, each with its own connection).
+///
+/// Two usage shapes:
+///  - Call(): one request, one reply — the closed-loop pattern.
+///  - Send()/Receive(): explicit pipelining. Replies arrive in completion
+///    order, so pipelining callers match them to requests by request_id.
+class NetClient {
+ public:
+  NetClient() = default;
+  ~NetClient();
+
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  /// Connects to host:port (host is an IPv4 literal, e.g. "127.0.0.1").
+  Status Connect(const std::string& host, int port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Blocking round trip with an auto-assigned request id. Network/protocol
+  /// failures return a Status; server-side failures (REJECTED, unknown
+  /// tenant, invalid batch) return Ok with the decoded response — the
+  /// connection stays usable either way.
+  Status Call(std::string_view tenant, const HeldOutBatch& batch,
+              bool graph_batch, NetResponse* out);
+
+  /// Writes one request frame (does not wait for the reply).
+  Status Send(uint64_t request_id, std::string_view tenant,
+              const HeldOutBatch& batch, bool graph_batch);
+
+  /// Reads the next response frame.
+  Status Receive(NetResponse* out);
+
+ private:
+  Status WriteAll(const uint8_t* data, size_t len);
+  Status ReadAll(uint8_t* data, size_t len);
+
+  int fd_ = -1;
+  uint64_t next_id_ = 1;
+  std::vector<uint8_t> wire_;  // reused encode buffer
+  std::vector<uint8_t> body_;  // reused receive buffer (aligned storage)
+};
+
+}  // namespace net
+}  // namespace mcond
+
+#endif  // MCOND_NET_NET_CLIENT_H_

@@ -280,36 +280,128 @@ void AppendPrometheusDouble(std::ostringstream& out, double v) {
   }
 }
 
+/// Dynamic per-tenant metrics (`mcond.net.tenant.<name>.<metric>`) are
+/// label-like: the tenant is a dimension of one family, not a family of its
+/// own. Mapping each to a distinct escaped name would (a) let two tenant
+/// names that differ only in escaped characters collide into one sample
+/// name, and (b) emit a duplicate `# TYPE` block per tenant, which strict
+/// exposition parsers reject. Instead the tenant segment becomes a
+/// `tenant="<name>"` label on a shared `mcond_net_tenant_<metric>` family.
+/// Returns false for every other name (ordinary escaping applies).
+bool SplitTenantMetric(const std::string& name, std::string* tenant,
+                       std::string* family) {
+  static constexpr char kPrefix[] = "mcond.net.tenant.";
+  static constexpr size_t kPrefixLen = sizeof(kPrefix) - 1;
+  if (name.rfind(kPrefix, 0) != 0) return false;
+  const size_t dot = name.find('.', kPrefixLen);
+  if (dot == std::string::npos || dot == kPrefixLen ||
+      dot + 1 >= name.size()) {
+    return false;  // no <metric> after the tenant segment
+  }
+  *tenant = name.substr(kPrefixLen, dot - kPrefixLen);
+  *family = PrometheusName("mcond.net.tenant." + name.substr(dot + 1));
+  return true;
+}
+
+/// Label values allow any UTF-8 but must escape backslash, double quote and
+/// newline (Prometheus text exposition format).
+std::string PrometheusLabelValue(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (const char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Labeled samples collected under one family so the exposition emits a
+/// single `# TYPE` line per family regardless of tenant count.
+template <typename V>
+using LabeledFamilies =
+    std::map<std::string, std::vector<std::pair<std::string, V>>>;
+
 }  // namespace
 
 std::string MetricsRegistry::ToPrometheus() const {
   const MetricsSnapshot snap = Snapshot();
   std::ostringstream out;
+  LabeledFamilies<int64_t> tenant_counters;
+  LabeledFamilies<double> tenant_gauges;
+  LabeledFamilies<const HistogramSnapshot*> tenant_histograms;
+  std::string tenant, family;
   for (const auto& [name, value] : snap.counters) {
+    if (SplitTenantMetric(name, &tenant, &family)) {
+      tenant_counters[family].emplace_back(tenant, value);
+      continue;
+    }
     const std::string pname = PrometheusName(name);
     out << "# TYPE " << pname << " counter\n"
         << pname << " " << value << "\n";
   }
+  for (const auto& [fam, samples] : tenant_counters) {
+    out << "# TYPE " << fam << " counter\n";
+    for (const auto& [t, value] : samples) {
+      out << fam << "{tenant=\"" << PrometheusLabelValue(t) << "\"} "
+          << value << "\n";
+    }
+  }
   for (const auto& [name, value] : snap.gauges) {
+    if (SplitTenantMetric(name, &tenant, &family)) {
+      tenant_gauges[family].emplace_back(tenant, value);
+      continue;
+    }
     const std::string pname = PrometheusName(name);
     out << "# TYPE " << pname << " gauge\n" << pname << " ";
     AppendPrometheusDouble(out, value);
     out << "\n";
   }
-  for (const auto& [name, h] : snap.histograms) {
-    const std::string pname = PrometheusName(name);
-    out << "# TYPE " << pname << " histogram\n";
+  for (const auto& [fam, samples] : tenant_gauges) {
+    out << "# TYPE " << fam << " gauge\n";
+    for (const auto& [t, value] : samples) {
+      out << fam << "{tenant=\"" << PrometheusLabelValue(t) << "\"} ";
+      AppendPrometheusDouble(out, value);
+      out << "\n";
+    }
+  }
+  const auto emit_histogram = [&out](const std::string& pname,
+                                     const std::string& label,
+                                     const HistogramSnapshot& h) {
+    // A tenant label composes with the le bucket label; scalar histograms
+    // pass an empty label string and emit the classic unlabeled shape.
+    const std::string sep = label.empty() ? "{" : "{" + label + ",";
     int64_t cumulative = 0;
     for (int i = 0; i < Histogram::kNumBuckets; ++i) {
       const int64_t n = h.buckets[static_cast<size_t>(i)];
       if (n == 0) continue;  // sparse: only boundaries that add samples
       cumulative += n;
-      out << pname << "_bucket{le=\"" << Histogram::BucketUpperBound(i)
-          << "\"} " << cumulative << "\n";
+      out << pname << "_bucket" << sep << "le=\""
+          << Histogram::BucketUpperBound(i) << "\"} " << cumulative << "\n";
     }
-    out << pname << "_bucket{le=\"+Inf\"} " << h.count << "\n"
-        << pname << "_sum " << h.sum << "\n"
-        << pname << "_count " << h.count << "\n";
+    out << pname << "_bucket" << sep << "le=\"+Inf\"} " << h.count << "\n"
+        << pname << "_sum" << (label.empty() ? "" : "{" + label + "}") << " "
+        << h.sum << "\n"
+        << pname << "_count" << (label.empty() ? "" : "{" + label + "}")
+        << " " << h.count << "\n";
+  };
+  for (const auto& [name, h] : snap.histograms) {
+    if (SplitTenantMetric(name, &tenant, &family)) {
+      tenant_histograms[family].emplace_back(tenant, &h);
+      continue;
+    }
+    const std::string pname = PrometheusName(name);
+    out << "# TYPE " << pname << " histogram\n";
+    emit_histogram(pname, "", h);
+  }
+  for (const auto& [fam, samples] : tenant_histograms) {
+    out << "# TYPE " << fam << " histogram\n";
+    for (const auto& [t, h] : samples) {
+      emit_histogram(fam, "tenant=\"" + PrometheusLabelValue(t) + "\"", *h);
+    }
   }
   for (const auto& [name, count] : snap.series_counts) {
     // Bounded series have no exposition shape; export the append count so

@@ -156,7 +156,12 @@ class MetricsRegistry {
   /// cumulative buckets plus `_sum`/`_count`. Metric names have the dots
   /// of the mcond convention mapped to underscores; series are exported
   /// as `<name>_total` counters of their append count (the retained
-  /// values have no Prometheus shape).
+  /// values have no Prometheus shape). Dynamic per-tenant names
+  /// (`mcond.net.tenant.<name>.<metric>`) are label-like and export as one
+  /// `mcond_net_tenant_<metric>` family per metric with a
+  /// `tenant="<name>"` label (escaped per the exposition rules), so tenant
+  /// names never collide after escaping and each family carries exactly
+  /// one `# TYPE` line.
   std::string ToPrometheus() const;
 
   /// Drops every registered instrument (references into the registry are

@@ -24,6 +24,9 @@ struct ServeRequest {
   ServeTiming timing;
   /// Trace flow correlation id; 0 when tracing was off at submit time.
   uint64_t flow_id = 0;
+  /// Optional completion hook, fired on the worker thread after the ticket
+  /// is signaled (see ConcurrentServer::ServeCallback).
+  ConcurrentServer::ServeCallback on_done;
 
   std::mutex mu;
   std::condition_variable cv;
@@ -87,6 +90,12 @@ ConcurrentServer::~ConcurrentServer() { Shutdown(); }
 StatusOr<ServeTicket> ConcurrentServer::Submit(const HeldOutBatch& batch,
                                                bool graph_batch,
                                                Tensor* out) {
+  return Submit(batch, graph_batch, out, ServeCallback());
+}
+
+StatusOr<ServeTicket> ConcurrentServer::Submit(const HeldOutBatch& batch,
+                                               bool graph_batch, Tensor* out,
+                                               ServeCallback on_done) {
   // Validate here, on the submitter's thread: a worker aborting the whole
   // process on a malformed request would take every other client with it.
   if (out == nullptr) {
@@ -116,6 +125,7 @@ StatusOr<ServeTicket> ConcurrentServer::Submit(const HeldOutBatch& batch,
   req->batch = &batch;
   req->graph_batch = graph_batch;
   req->out = out;
+  req->on_done = std::move(on_done);
   // The submit span starts this request's trace flow on the client thread;
   // the worker's server.request span terminates it, so one request renders
   // as one connected chain across threads. A blocking submit keeps the
@@ -268,6 +278,16 @@ void ConcurrentServer::WorkerLoop(int worker_index) {
           req->status = Status::Ok();
         }
         req->cv.notify_all();
+        if (req->on_done) {
+          // The three stamps were written by this thread; pass a local copy
+          // so the callback never touches req's lock (a waiter may already
+          // be destroying its ticket).
+          ServeTiming timing;
+          timing.enqueue_us = req->timing.enqueue_us;
+          timing.dequeue_us = req->timing.dequeue_us;
+          timing.done_us = done_us;
+          req->on_done(Status::Ok(), timing);
+        }
       }
     }
     const uint64_t idle_end_us = drained.front()->timing.dequeue_us;

@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -158,6 +159,14 @@ class ConcurrentServer {
   ConcurrentServer(const ConcurrentServer&) = delete;
   ConcurrentServer& operator=(const ConcurrentServer&) = delete;
 
+  /// Completion hook for the callback Submit overload: invoked exactly once
+  /// on the worker thread, after `*out` holds the logits and the ticket has
+  /// been signaled. Keep it cheap — it runs inside the worker's serve loop
+  /// (and inside its ScopedInlineParallelRegion), so a slow callback stalls
+  /// that replica. The NetServer uses this to hand finished responses back
+  /// to its IO thread without parking a thread per in-flight request.
+  using ServeCallback = std::function<void(const Status&, const ServeTiming&)>;
+
   /// Enqueues one request. Validates shapes up front (InvalidArgument —
   /// workers never abort on caller mistakes); applies the backpressure
   /// policy when the queue is full; FailedPrecondition after Shutdown.
@@ -165,6 +174,15 @@ class ConcurrentServer {
   /// batch logits.
   StatusOr<ServeTicket> Submit(const HeldOutBatch& batch, bool graph_batch,
                                Tensor* out);
+
+  /// Same admission path, plus `on_done` fires on the worker thread once
+  /// the request completes. A synchronous failure (rejection, shutdown,
+  /// invalid batch) is returned here and `on_done` never fires — callers
+  /// own exactly one completion signal per request, never two. Every
+  /// admitted request's callback fires even across Shutdown, which drains
+  /// the queue before joining the workers.
+  StatusOr<ServeTicket> Submit(const HeldOutBatch& batch, bool graph_batch,
+                               Tensor* out, ServeCallback on_done);
 
   /// Submit + Wait.
   Status ServeSync(const HeldOutBatch& batch, bool graph_batch, Tensor* out);

@@ -574,6 +574,51 @@ TEST(MetricsTest, PrometheusExpositionFormat) {
   EXPECT_EQ(prom.back(), '\n');
 }
 
+TEST(MetricsTest, PrometheusTenantMetricsBecomeOneLabeledFamily) {
+  // Dynamic per-tenant names (mcond.net.tenant.<name>.<metric>) are
+  // label-like: every tenant folds into ONE family with a tenant label and
+  // ONE # TYPE line — per-tenant families would collide after escaping and
+  // strict exposition parsers reject duplicate TYPE blocks.
+  obs::MetricsRegistry registry;
+  registry.GetCounter("mcond.net.tenant.alpha.requests").Increment(3);
+  registry.GetCounter("mcond.net.tenant.beta.requests").Increment(5);
+  registry.GetCounter("mcond.net.tenant.beta.rejected").Increment(1);
+  registry.GetHistogram("mcond.net.tenant.alpha.latency_us").Record(100);
+  const std::string prom = registry.ToPrometheus();
+
+  EXPECT_NE(prom.find("# TYPE mcond_net_tenant_requests counter"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("mcond_net_tenant_requests{tenant=\"alpha\"} 3"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("mcond_net_tenant_requests{tenant=\"beta\"} 5"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("mcond_net_tenant_rejected{tenant=\"beta\"} 1"),
+            std::string::npos)
+      << prom;
+  // Exactly one TYPE line per family, no escaped per-tenant family names.
+  size_t type_lines = 0, pos = 0;
+  while ((pos = prom.find("# TYPE mcond_net_tenant_requests ", pos)) !=
+         std::string::npos) {
+    ++type_lines;
+    pos += 1;
+  }
+  EXPECT_EQ(type_lines, 1u) << prom;
+  EXPECT_EQ(prom.find("mcond_net_tenant_alpha_requests"), std::string::npos)
+      << prom;
+  // The tenant label composes with the histogram's le label; _sum/_count
+  // carry the tenant label alone.
+  EXPECT_NE(
+      prom.find("mcond_net_tenant_latency_us_bucket{tenant=\"alpha\",le="),
+      std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("mcond_net_tenant_latency_us_count{tenant=\"alpha\"} 1"),
+            std::string::npos)
+      << prom;
+}
+
 // ---------------------------------------------------------------------------
 // Logging.
 

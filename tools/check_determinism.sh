@@ -19,9 +19,18 @@
 # and a full condense round are bit-identical to the resident path at every
 # thread count, segment partition and prefetch depth (docs/performance.md).
 #
+# When given a bench_net_throughput binary it also proves the network
+# loopback contract: its --smoke digests must match between the two widths,
+# AND within each run every net_<tag> digest must equal its inproc_<tag>
+# counterpart — logits served over the wire protocol (loopback TCP, two
+# tenants concurrently from one registry, server replicas K=1 and K=8) are
+# bit-identical to in-process ConcurrentServer calls on the same tenants
+# (docs/serving.md).
+#
 # Usage: check_determinism.sh <path-to-bench_kernels> [wide_thread_count]
 #                             [path-to-bench_serving_throughput]
 #                             [path-to-bench_condense_scale]
+#                             [path-to-bench_net_throughput]
 # Registered as a ctest (see bench/CMakeLists.txt), so `ctest` runs it on
 # every build — including the single-core CI case, where the wide run still
 # exercises the pool's worker threads via preemption.
@@ -31,6 +40,7 @@ BENCH="${1:?usage: check_determinism.sh <bench_kernels binary> [threads] [bench_
 WIDE="${2:-8}"
 SERVING="${3:-}"
 CONDENSE="${4:-}"
+NET="${5:-}"
 
 narrow=$(MCOND_NUM_THREADS=1 "$BENCH" --smoke | grep -v '^threads ')
 wide=$(MCOND_NUM_THREADS="$WIDE" "$BENCH" --smoke | grep -v '^threads ')
@@ -163,4 +173,46 @@ if [[ -n "$CONDENSE" ]]; then
 
   echo "OK: out-of-core checksums identical at 1 and $WIDE threads, prefetch off and on, streamed == resident for $paired kernels"
   echo "$c_narrow"
+fi
+
+if [[ -n "$NET" ]]; then
+  n_narrow=$(MCOND_NUM_THREADS=1 "$NET" --smoke | grep -v '^threads ')
+  n_wide=$(MCOND_NUM_THREADS="$WIDE" "$NET" --smoke | grep -v '^threads ')
+
+  if [[ "$n_narrow" != "$n_wide" ]]; then
+    echo "DETERMINISM FAILURE: network serving checksums differ between 1 and $WIDE threads" >&2
+    diff <(echo "$n_narrow") <(echo "$n_wide") >&2 || true
+    exit 1
+  fi
+
+  # Pair check: every net_<tag> must equal inproc_<tag> — the wire protocol
+  # transfers logit bits verbatim; loopback == in-process for every tenant,
+  # replica count and batch mode.
+  paired=0
+  while read -r name digest; do
+    case "$name" in
+      inproc_*)
+        tag="${name#inproc_}"
+        got=$(echo "$n_narrow" | awk -v n="net_$tag" '$1 == n {print $2}')
+        if [[ -z "$got" ]]; then
+          echo "DETERMINISM FAILURE: no net_$tag line to pair with inproc_$tag" >&2
+          exit 1
+        fi
+        if [[ "$got" != "$digest" ]]; then
+          echo "DETERMINISM FAILURE: loopback logits differ from in-process for '$tag'" >&2
+          echo "  inproc $digest" >&2
+          echo "  net    $got" >&2
+          exit 1
+        fi
+        paired=$((paired + 1))
+        ;;
+    esac
+  done <<< "$n_narrow"
+  if [[ "$paired" -eq 0 ]]; then
+    echo "DETERMINISM FAILURE: no inproc_* digests in bench_net_throughput --smoke output" >&2
+    exit 1
+  fi
+
+  echo "OK: network loopback logits bit-identical to in-process for $paired tenant/replica/mode combos at 1 and $WIDE threads"
+  echo "$n_narrow"
 fi

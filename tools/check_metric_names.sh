@@ -5,7 +5,14 @@
 #   e.g. mcond.server.queue_wait_us, mcond.shard.prefetch.stall_us
 #
 # i.e. three or four dot-separated segments, first one "mcond", the rest
-# lowercase [a-z0-9_]. Scans every GetCounter / GetGauge / GetHistogram /
+# lowercase [a-z0-9_]. One sanctioned five-segment family exists on top:
+# the per-tenant serving metrics mcond.net.tenant.<name>.<metric>, where
+# <name> is a registry tenant (ModelRegistry validates it to [a-z0-9_]
+# precisely so these embed cleanly; the Prometheus exporter folds the
+# tenant segment into a tenant="<name>" label). Call sites build those
+# dynamically and carry the usual `// metric-name:` annotation.
+#
+# Scans every GetCounter / GetGauge / GetHistogram /
 # GetSeries call in src/, tests/, bench/, tools/ and examples/:
 #
 #   - A call with a complete string literal is validated directly.
@@ -31,6 +38,7 @@ files=$(find "$root/src" "$root/tests" "$root/bench" "$root/tools" \
 # shellcheck disable=SC2086
 errors=$(awk '
 function valid(name) {
+  if (name ~ /^mcond\.net\.tenant\.[a-z0-9_]+\.[a-z0-9_]+$/) return 1
   return name ~ /^mcond\.[a-z0-9_]+(\.[a-z0-9_]+)?\.[a-z0-9_]+$/
 }
 FNR == 1 { prev1 = ""; prev2 = "" }

@@ -22,6 +22,18 @@
 //       queue of --serve_queue N slots (default 32), verifying the
 //       concurrent logits bit-match a solo session and reporting the
 //       aggregate throughput and pool memory (docs/performance.md).
+//   mcond_cli serve --listen <port> --registry <dir> [--bind ADDR]
+//             [--serve_concurrency K] [--serve_queue N] [--quota_rps R]
+//             [--train_epochs E] [--duration_s S]
+//       Network mode (docs/serving.md): load every artifact in <dir> as a
+//       tenant of a ModelRegistry (tenant name = file stem), train each
+//       with the default SGC factory, and serve the mcond wire protocol on
+//       --bind:--listen (port 0 picks an ephemeral port, printed at
+//       startup). Runs until SIGINT/SIGTERM, or for --duration_s seconds.
+//       --quota_rps adds a per-tenant token-bucket admission quota.
+//
+// All flags accept both "--key value" and "--key=value" spellings
+// (tools/check_cli_flags.sh holds this invariant across subcommands).
 //
 // Observability flags, accepted by every command (docs/observability.md):
 //   --log_level debug|info|warn|error|off   (default: MCOND_LOG_LEVEL)
@@ -52,12 +64,16 @@
 //
 // Exit code 0 on success; errors print a Status message to stderr.
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstring>
 #include <iostream>
 #include <map>
 #include <memory>
 #include <numeric>
 #include <string>
+#include <thread>
 
 #include "condense/artifact_io.h"
 #include "condense/mcond.h"
@@ -68,6 +84,8 @@
 #include "eval/batching.h"
 #include "graph/sharded_ops.h"
 #include "eval/inference.h"
+#include "net/model_registry.h"
+#include "net/net_server.h"
 #include "nn/trainer.h"
 #include "obs/export.h"
 #include "obs/log.h"
@@ -212,7 +230,82 @@ int CmdInspect(const Args& args) {
   return 0;
 }
 
+std::atomic<bool> g_interrupted{false};
+
+void HandleStopSignal(int /*sig*/) { g_interrupted.store(true); }
+
+/// `serve --listen P --registry DIR`: the long-running multi-tenant
+/// network front-end over a directory of condensed artifacts.
+int CmdServeNet(const Args& args) {
+  const std::string registry_dir = FlagOr(args, "registry", "");
+  if (registry_dir.empty()) {
+    std::cerr << "serve --listen requires --registry <dir>\n";
+    return 1;
+  }
+  int port = 0;
+  try {
+    port = std::stoi(FlagOr(args, "listen", "0"));
+  } catch (...) {
+    port = -1;
+  }
+  if (port < 0 || port > 65535) {
+    std::cerr << "bad --listen port\n";
+    return 1;
+  }
+  net::TenantConfig tenant_cfg;
+  tenant_cfg.num_replicas = std::stoi(FlagOr(args, "serve_concurrency", "1"));
+  tenant_cfg.queue_capacity = std::stoi(FlagOr(args, "serve_queue", "64"));
+  tenant_cfg.quota_rps = std::stod(FlagOr(args, "quota_rps", "0"));
+  const int64_t train_epochs =
+      std::stoll(FlagOr(args, "train_epochs", "300"));
+  const uint64_t seed = std::stoull(FlagOr(args, "seed", "1"));
+
+  net::ModelRegistry registry(
+      net::ModelRegistry::DefaultSgcFactory(train_epochs, seed));
+  StatusOr<int> added = registry.LoadDirectory(registry_dir, tenant_cfg);
+  if (!added.ok()) {
+    std::cerr << added.status().ToString() << "\n";
+    return 1;
+  }
+  net::NetServerOptions options;
+  options.bind_address = FlagOr(args, "bind", "127.0.0.1");
+  options.port = port;
+  net::NetServer server(registry, options);
+  const Status started = server.Start();
+  if (!started.ok()) {
+    std::cerr << started.ToString() << "\n";
+    return 1;
+  }
+  // The bench harness and smoke scripts scrape this line for the ephemeral
+  // port, so it goes to stdout unbuffered.
+  std::cout << "serving " << added.value() << " tenant(s) [";
+  bool first = true;
+  for (const std::string& name : registry.TenantNames()) {
+    std::cout << (first ? "" : " ") << name;
+    first = false;
+  }
+  std::cout << "] on " << options.bind_address << ":" << server.port()
+            << std::endl;
+
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  const double duration_s = std::stod(FlagOr(args, "duration_s", "0"));
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(static_cast<int64_t>(duration_s * 1e3));
+  while (!g_interrupted.load()) {
+    if (duration_s > 0 && std::chrono::steady_clock::now() >= deadline) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.Stop();
+  std::cout << "net server stopped\n";
+  return 0;
+}
+
 int CmdServe(const Args& args) {
+  if (args.flags.count("listen") > 0) return CmdServeNet(args);
   const std::string dataset = FlagOr(args, "dataset", "tiny-sim");
   const std::string artifact = FlagOr(args, "artifact", "condensed.bin");
   const uint64_t seed = std::stoull(FlagOr(args, "seed", "1"));
